@@ -1,0 +1,36 @@
+"""Bench: the design-choice ablations DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.analysis.experiments.exp_ablations import (
+    ablate_overlap,
+    tric_volume_growth,
+)
+from repro.core.config import LCCConfig
+from repro.core.lcc import run_distributed_lcc
+
+
+def test_overlap_ablation(benchmark):
+    table = run_once(benchmark, ablate_overlap, 0.5, 0)
+    for row in table.rows:
+        assert float(row[1]) <= float(row[2]) * 1.001  # overlap never slower
+
+
+def test_partition_ablation(benchmark, livejournal_small):
+    def run():
+        blk = run_distributed_lcc(livejournal_small,
+                                  LCCConfig(nranks=8, partition="block"))
+        cyc = run_distributed_lcc(livejournal_small,
+                                  LCCConfig(nranks=8, partition="cyclic"))
+        return blk, cyc
+
+    blk, cyc = benchmark(run)
+    # Both correct; report imbalance difference in the timing data.
+    assert blk.global_triangles == cyc.global_triangles
+
+
+def test_tric_volume_mechanism(benchmark):
+    table = run_once(benchmark, tric_volume_growth, 1.0, 0)
+    ratios = [float(row[3]) for row in table.rows]
+    # TriC's relative wire volume grows with graph scale (hub degree).
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the CLaMPI cache data structures."""
+
+import numpy as np
+import pytest
+
+from repro.clampi.allocator import BufferAllocator
+from repro.clampi.avl import AVLTree
+from repro.clampi.cache import ClampiCache, ClampiConfig
+from repro.runtime.window import Window
+
+
+def test_avl_insert_remove(benchmark):
+    def churn():
+        tree = AVLTree()
+        for k in range(512):
+            tree.insert((k * 37) % 1024)
+        for k in range(512):
+            tree.remove((k * 37) % 1024)
+        return tree
+
+    benchmark(churn)
+
+
+def test_allocator_churn(benchmark):
+    rng = np.random.default_rng(1)
+    sizes = rng.integers(8, 512, 512).tolist()
+
+    def churn():
+        alloc = BufferAllocator(1 << 16)
+        live = []
+        for s in sizes:
+            off = alloc.alloc(int(s))
+            if off is not None:
+                live.append(off)
+            elif live:
+                alloc.free(live.pop(0))
+        return alloc
+
+    benchmark(churn)
+
+
+@pytest.fixture(scope="module")
+def cache_setup():
+    win = Window("adj", [np.arange(4096, dtype=np.int64),
+                         np.arange(4096, dtype=np.int64)])
+    win.lock_all(0)
+    rng = np.random.default_rng(2)
+    # Zipf-ish access stream: heavy reuse of a few offsets.
+    offsets = (rng.zipf(1.5, 4096) % 512).astype(int)
+    return win, offsets
+
+
+def test_cache_hot_access_stream(benchmark, cache_setup):
+    win, offsets = cache_setup
+
+    def run():
+        cache = ClampiCache(win, 0, ClampiConfig(capacity_bytes=1 << 14,
+                                                 nslots=512))
+        for off in offsets:
+            cache.access(1, int(off), 8)
+        return cache.stats.hit_rate
+
+    hit_rate = benchmark(run)
+    assert hit_rate > 0.3

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 10 — large-scale (128+ ranks) behaviour."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig10
+
+
+def test_fig10(benchmark):
+    tables = run_once(benchmark, exp_fig10.run, fast=True)
+    table = tables[0]
+    for row in table.rows:
+        lcc_t, cached_t, tric_t = map(float, row[1:4])
+        assert lcc_t > 0 and cached_t > 0
+        assert tric_t > lcc_t  # TriC behind at scale, as in the paper

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 1 (right) — remote-read reuse histogram."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig1
+from repro.analysis.reuse import remote_read_counts
+
+
+def test_fig1(benchmark, facebook):
+    tables = run_once(benchmark, exp_fig1.run)
+    assert tables
+
+    # Reuse exists: a perfect cache would save a majority of remote reads.
+    counts = remote_read_counts(facebook, 2, initiator=0)
+    touched = counts[counts > 0]
+    assert touched.sum() > 2 * touched.shape[0]

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5 — cache-entry characterization."""
+
+import scipy.stats as stats
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig5
+from repro.analysis.reuse import fig5_scatter
+
+
+def test_fig5(benchmark):
+    tables = run_once(benchmark, exp_fig5.run)
+    assert tables
+
+
+def test_degree_predicts_reuse(benchmark, facebook):
+    def rho():
+        degrees, accesses, _ = fig5_scatter(facebook, 2)
+        return float(stats.spearmanr(degrees, accesses).statistic)
+
+    # Observation 3.1/3.2: degree correlates positively with reuse.
+    assert benchmark(rho) > 0.3

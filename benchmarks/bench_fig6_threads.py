@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 6 — shared-memory thread scaling.
+
+Acceptance shape: positive but saturating speedup (nowhere near 16x at 16
+threads — the paper peaks at 2.7x), and active wait policy a few percent
+ahead of passive.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig6
+from repro.analysis.throughput import edges_per_microsecond
+
+
+def test_fig6(benchmark):
+    tables = run_once(benchmark, exp_fig6.run, fast=True)
+    assert tables
+
+
+def test_scaling_saturates(benchmark, rmat_s20_ef16):
+    def speedup():
+        t1 = edges_per_microsecond(rmat_s20_ef16, "hybrid", threads=1)
+        t16 = edges_per_microsecond(rmat_s20_ef16, "hybrid", threads=16)
+        return t16 / t1
+
+    s = benchmark(speedup)
+    assert 1.2 < s < 8.0
+
+
+def test_wait_policy_gain(benchmark, rmat_s20_ef16):
+    def gain():
+        a = edges_per_microsecond(rmat_s20_ef16, "hybrid", threads=16,
+                                  wait_policy="active")
+        p = edges_per_microsecond(rmat_s20_ef16, "hybrid", threads=16,
+                                  wait_policy="passive")
+        return a / p - 1
+
+    g = benchmark(gain)
+    assert 0.0 < g < 0.15  # paper: 2-4%

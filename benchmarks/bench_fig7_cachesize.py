@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 7 — cache behaviour vs cache size.
+
+Acceptance shapes: miss rates decrease monotonically (modulo noise) with
+capacity and floor at the compulsory rate; communication time decreases
+with capacity.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig7
+
+
+def test_fig7(benchmark):
+    tables = run_once(benchmark, exp_fig7.run, fast=True)
+    assert len(tables) >= 2
+    for table in tables[:2]:
+        misses = [float(row[2]) for row in table.rows]
+        floors = [float(row[3]) for row in table.rows]
+        savings = [float(row[5].rstrip("%")) for row in table.rows]
+        # Bigger cache -> fewer misses, never below the compulsory floor.
+        assert misses[-1] <= misses[0]
+        for miss, floor in zip(misses, floors):
+            assert miss >= floor - 1e-9
+        # Bigger cache -> at least as much communication saving.
+        assert savings[-1] >= savings[0]

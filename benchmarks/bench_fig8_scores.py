@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 8 — degree-centrality eviction scores.
+
+Acceptance shape: the degree score never loses to stock CLaMPI scores on
+miss rate, at any node count (the paper measures 14-36% improvement on
+remote-read time; the magnitude is scale-compressed here).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig8
+
+
+def test_fig8(benchmark):
+    tables = run_once(benchmark, exp_fig8.run, fast=True)
+    table = tables[0]
+    for row in table.rows:
+        miss_default = float(row[4])
+        miss_degree = float(row[5])
+        assert miss_degree <= miss_default + 1e-6, (
+            f"degree scores lost at {row[0]} nodes")

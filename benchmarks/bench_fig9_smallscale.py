@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 9 — small-scale strong scaling.
+
+Acceptance shapes on the R-MAT S21 stand-in: the async implementation
+scales with node count, TriC is slower at every configuration, and
+TriC-Buffered is never faster than TriC.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_fig9
+
+
+def test_fig9_rmat(benchmark):
+    tables = run_once(benchmark, exp_fig9.run, fast=True)
+    scaling = tables[0]
+    rows = {int(r[0]): r for r in scaling.rows}
+    counts = sorted(rows)
+    lo, hi = rows[counts[0]], rows[counts[-1]]
+    lcc_lo, lcc_hi = float(lo[1]), float(hi[1])
+    # Strong scaling of the async series.
+    assert lcc_hi < lcc_lo
+    for p, row in rows.items():
+        lcc_t, cached_t, tric_t, tric_buf_t = map(float, row[1:5])
+        assert tric_t > lcc_t, f"TriC beat async LCC at {p} nodes"
+        assert tric_buf_t >= tric_t * 0.95
+        assert cached_t <= lcc_t * 1.05

@@ -1,0 +1,67 @@
+"""Wall-clock micro-benchmarks of the intersection kernels.
+
+These are real (not simulated) timings of the NumPy counting kernels —
+the one place where pytest-benchmark's statistics are measuring actual
+compute rather than regenerating a paper artifact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.intersect import (
+    binary_search_count,
+    count_common_above,
+    hybrid_count,
+    ssi_count,
+)
+
+
+def make_pair(rng, la, lb, universe):
+    a = np.unique(rng.integers(0, universe, la)).astype(np.int32)
+    b = np.unique(rng.integers(0, universe, lb)).astype(np.int32)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def balanced_pair():
+    return make_pair(np.random.default_rng(0), 512, 512, 4096)
+
+
+@pytest.fixture(scope="module")
+def skewed_pair():
+    return make_pair(np.random.default_rng(0), 32, 65536, 1 << 20)
+
+
+def test_ssi_balanced(benchmark, balanced_pair):
+    a, b = balanced_pair
+    assert benchmark(ssi_count, a, b) >= 0
+
+
+def test_binary_balanced(benchmark, balanced_pair):
+    a, b = balanced_pair
+    assert benchmark(binary_search_count, a, b) >= 0
+
+
+def test_hybrid_balanced(benchmark, balanced_pair):
+    a, b = balanced_pair
+    assert benchmark(hybrid_count, a, b) >= 0
+
+
+def test_ssi_skewed(benchmark, skewed_pair):
+    a, b = skewed_pair
+    assert benchmark(ssi_count, a, b) >= 0
+
+
+def test_binary_skewed(benchmark, skewed_pair):
+    a, b = skewed_pair
+    assert benchmark(binary_search_count, a, b) >= 0
+
+
+def test_hybrid_skewed(benchmark, skewed_pair):
+    a, b = skewed_pair
+    assert benchmark(hybrid_count, a, b) >= 0
+
+
+def test_count_above(benchmark, balanced_pair):
+    a, b = balanced_pair
+    assert benchmark(count_common_above, a, b, 2048) >= 0

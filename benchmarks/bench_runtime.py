@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the simulated runtime primitives."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.engine import Engine
+from repro.runtime.window import Window
+
+
+def test_remote_get_throughput(benchmark):
+    eng = Engine(2)
+    win = eng.windows.add(Window("w", [np.arange(4096, dtype=np.int64)] * 2))
+    win.lock_all(0)
+    ctx = eng.contexts[0]
+
+    def gets():
+        for off in range(0, 1024, 8):
+            ctx.get(win, 1, off, 8)
+
+    benchmark(gets)
+
+
+def test_engine_collective_round(benchmark):
+    def round_trip():
+        eng = Engine(8)
+
+        def fn(ctx):
+            for _ in range(4):
+                payloads = [ctx.rank * 100 + d for d in range(8)]
+                yield ctx.alltoallv(payloads, [64] * 8)
+                yield ctx.barrier()
+            return ctx.now
+
+        return eng.run(fn).time
+
+    assert benchmark(round_trip) > 0
+
+
+def test_engine_message_storm(benchmark):
+    def storm():
+        eng = Engine(4)
+
+        def fn(ctx):
+            if ctx.rank == 0:
+                for i in range(64):
+                    yield ctx.send(1 + (i % 3), i, 32)
+                return 0
+            total = 0
+            for _ in range(64 // 3 + (ctx.rank <= 64 % 3)):
+                total += yield ctx.recv(0)
+            return total
+
+        return eng.run(fn).time
+
+    assert benchmark(storm) > 0

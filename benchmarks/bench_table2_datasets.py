@@ -1,0 +1,10 @@
+"""Bench: regenerate Table II (dataset construction)."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_table2
+
+
+def test_table2(benchmark):
+    tables = run_once(benchmark, exp_table2.run, fast=True)
+    assert tables and tables[0].rows

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table III (intersection-method throughput).
+
+The acceptance property from the paper: the hybrid method beats both pure
+methods on every graph.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import exp_table3
+from repro.analysis.throughput import edges_per_microsecond
+
+
+def test_table3(benchmark):
+    (table,) = run_once(benchmark, exp_table3.run, fast=True)
+    for row in table.rows:
+        assert row[-1] == "yes", f"hybrid lost on {row[0]}"
+
+
+def test_hybrid_beats_pure_methods(benchmark, rmat_s20_ef16):
+    def evaluate():
+        h = edges_per_microsecond(rmat_s20_ef16, "hybrid", threads=16)
+        s = edges_per_microsecond(rmat_s20_ef16, "ssi", threads=16)
+        b = edges_per_microsecond(rmat_s20_ef16, "binary", threads=16)
+        return h, s, b
+
+    h, s, b = benchmark(evaluate)
+    assert h >= max(s, b) * 0.999
+    assert s > b  # SSI above binary search on CPU (paper Table III)

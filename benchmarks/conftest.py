@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper at a
+trimmed scale (the full sweeps are run by ``python -m
+repro.analysis.runner --all``; these benchmarks keep the harness cheap
+enough for CI while still executing the identical code paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def rmat_s21():
+    return load_dataset("rmat-s21-ef16")
+
+
+@pytest.fixture(scope="session")
+def rmat_s20_ef16():
+    return load_dataset("rmat-s20-ef16")
+
+
+@pytest.fixture(scope="session")
+def livejournal_small():
+    return load_dataset("livejournal", scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def facebook():
+    return load_dataset("facebook-circles")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

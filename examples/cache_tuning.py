@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Tune the CLaMPI caches for a workload (a Figure 7/8-style study).
+
+Sweeps cache capacity and compares eviction-score policies on a scale-free
+graph, printing the communication-time / hit-rate trade-off so a user can
+size the caches for their own memory budget.
+
+    python examples/cache_tuning.py
+"""
+
+from repro.core import CacheSpec, LCCConfig, compute_lcc
+from repro.graph import load_dataset
+from repro.utils.units import format_bytes
+
+
+def main() -> None:
+    graph = load_dataset("rmat-s20-ef16")
+    print(f"graph: {graph.name}  |V|={graph.n:,}  |E|={graph.m:,}  "
+          f"CSR={format_bytes(graph.nbytes)}\n")
+
+    base_cfg = LCCConfig(nranks=8, threads=12)
+    baseline = compute_lcc(graph, base_cfg)
+    print(f"no cache: {baseline.time * 1e3:7.1f} ms "
+          f"(comm busy {baseline.comm_time * 1e3:.0f} ms across ranks)\n")
+
+    print(f"{'budget':>10} {'policy':>8} {'time':>9} {'vs none':>8} "
+          f"{'adj hit':>8} {'off hit':>8}")
+    for fraction in (0.05, 0.25, 1.0, 2.0):
+        budget = max(4096, int(fraction * graph.nbytes))
+        for score in ("lru", "default", "degree"):
+            spec = CacheSpec.paper_split(budget, graph.n, score=score)
+            res = compute_lcc(graph, base_cfg.replace(cache=spec))
+            gain = 1 - res.time / baseline.time
+            print(f"{format_bytes(budget):>10} {score:>8} "
+                  f"{res.time * 1e3:7.1f}ms {gain:8.1%} "
+                  f"{res.adj_cache_stats['hit_rate']:8.1%} "
+                  f"{res.offsets_cache_stats['hit_rate']:8.1%}")
+        print()
+
+    print("reading the table: 'degree' is the paper's application-defined "
+          "score extension;\nits advantage appears once the budget forces "
+          "evictions (small budgets),\nand disappears when everything fits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Cache consistency modes on an evolving graph (paper Section II-F).
+
+The LCC workload is read-only, so the paper runs CLaMPI in *always-cache*
+mode.  This example shows why the other two modes exist: a monitoring
+loop recomputes LCC after batches of new edges arrive.
+
+* **always-cache** would serve stale adjacency lists after an update;
+* **transparent** flushes at every epoch close — always correct, but it
+  forfeits all cross-epoch reuse;
+* **user-defined** lets the application flush exactly when the graph
+  actually changed — correct *and* cheap for read-mostly phases.
+
+    python examples/dynamic_graph.py
+"""
+
+import numpy as np
+
+from repro.clampi.cache import ConsistencyMode
+from repro.core import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local
+from repro.graph import CSRGraph, load_dataset
+from repro.utils.rng import make_rng
+
+
+def add_random_edges(graph: CSRGraph, count: int, rng) -> CSRGraph:
+    """Insert ``count`` random new edges (the 'update batch')."""
+    new = rng.integers(0, graph.n, size=(count, 2))
+    edges = np.concatenate([graph.edges(), new])
+    return CSRGraph.from_edges(edges, graph.n, name=graph.name)
+
+
+def main() -> None:
+    rng = make_rng(33)
+    graph = load_dataset("skitter", scale=0.4)
+    print(f"monitoring LCC on {graph.name}: |V|={graph.n:,} |E|={graph.m:,}\n")
+
+    for mode in (ConsistencyMode.TRANSPARENT, ConsistencyMode.USER_DEFINED):
+        g = graph
+        total_time = 0.0
+        correct = True
+        print(f"mode = {mode.value}")
+        for epoch in range(3):
+            spec = CacheSpec(offsets_bytes=max(1, int(0.4 * g.n) * 16),
+                             adj_bytes=2 * g.adjacency.nbytes,
+                             mode=mode)
+            cfg = LCCConfig(nranks=4, threads=12, cache=spec)
+            result = run_distributed_lcc(g, cfg)
+            ok = np.allclose(result.lcc, lcc_local(g))
+            correct &= ok
+            total_time += result.time
+            print(f"  epoch {epoch}: {result.time * 1e3:7.1f} ms, "
+                  f"adj hit rate {result.adj_cache_stats['hit_rate']:.0%}, "
+                  f"scores {'correct' if ok else 'STALE'}")
+            g = add_random_edges(g, 200, rng)
+        print(f"  total simulated time: {total_time * 1e3:.1f} ms, "
+              f"all epochs correct: {correct}\n")
+
+    print("note: each run here builds fresh caches, so both modes stay "
+          "correct;\nuser-defined mode's advantage appears when caches "
+          "persist across epochs\nand the application flushes only on "
+          "actual updates (see repro.clampi).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Link recommendation from clustering structure (paper Section I).
+
+"Clustering coefficient is used to locate thematic relationships" — this
+example scores candidate links by common-neighbour count (the same
+intersection kernel the triangle counter uses) weighted by the endpoints'
+LCC, recommending edges inside tightly clustered neighbourhoods.
+
+    python examples/link_recommendation.py
+"""
+
+import numpy as np
+
+from repro.core import LCCConfig, compute_lcc
+from repro.core.intersect import count_common, intersect_values
+from repro.graph import load_dataset
+
+
+def recommend(graph, lcc: np.ndarray, for_vertex: int, top_k: int = 5):
+    """Rank non-neighbours of ``for_vertex`` by (common neighbours, LCC)."""
+    adj_v = graph.adj(for_vertex)
+    neighbours = set(adj_v.tolist())
+    candidates = []
+    # Two-hop candidates only: someone sharing at least one neighbour.
+    two_hop = set()
+    for j in adj_v:
+        two_hop.update(graph.adj(int(j)).tolist())
+    two_hop -= neighbours | {for_vertex}
+    for u in two_hop:
+        common = count_common(adj_v, graph.adj(int(u)), "hybrid")
+        if common:
+            score = common * (1.0 + lcc[u])
+            candidates.append((score, common, int(u)))
+    candidates.sort(reverse=True)
+    return candidates[:top_k]
+
+
+def main() -> None:
+    graph = load_dataset("facebook-circles")
+    result = compute_lcc(graph, LCCConfig(nranks=4, threads=12))
+    lcc = result.lcc
+    print(f"graph: {graph.name} |V|={graph.n:,} |E|={graph.m:,}; "
+          f"simulated LCC run {result.time * 1e3:.1f} ms\n")
+
+    degrees = graph.degrees()
+    # Recommend for a few well-connected members (not the extreme hubs).
+    order = np.argsort(-degrees)
+    picks = [int(v) for v in order[10:13]]
+    for v in picks:
+        print(f"recommendations for vertex {v} "
+              f"(degree {degrees[v]}, LCC {lcc[v]:.3f}):")
+        for score, common, u in recommend(graph, lcc, v):
+            shared = intersect_values(graph.adj(v), graph.adj(u))[:4]
+            print(f"  -> vertex {u:5d}  score {score:6.2f}  "
+                  f"{common} shared friends (e.g. {list(map(int, shared))})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

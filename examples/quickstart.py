@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: count triangles and compute LCC, locally and distributed.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import CacheSpec, LCCConfig, compute_lcc, count_triangles
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    # A scaled-down stand-in for SNAP-LiveJournal (power-law social graph).
+    graph = load_dataset("livejournal", scale=0.25)
+    print(f"graph: {graph.name}  |V|={graph.n:,}  |E|={graph.m:,}  "
+          f"CSR={graph.nbytes / 1024:.0f} KiB")
+
+    # --- single node ------------------------------------------------------
+    triangles = count_triangles(graph)
+    scores = compute_lcc(graph)
+    print(f"\nlocal: {triangles:,} triangles, "
+          f"mean LCC {scores.mean():.4f}, max LCC {scores.max():.4f}")
+
+    # --- simulated 8-node cluster, no caching ------------------------------
+    cfg = LCCConfig(nranks=8, threads=12)
+    plain = compute_lcc(graph, cfg)
+    print(f"\n8 ranks, non-cached: {plain.time * 1e3:.1f} ms simulated "
+          f"({plain.outcome.summary()['remote_fraction']:.0%} of reads remote)")
+
+    # --- same cluster with the paper's CLaMPI caches ------------------------
+    cached_cfg = cfg.replace(
+        cache=CacheSpec.paper_split(2 * graph.nbytes, graph.n,
+                                    score="degree"))
+    cached = compute_lcc(graph, cached_cfg)
+    print(f"8 ranks, cached:     {cached.time * 1e3:.1f} ms simulated "
+          f"(C_adj hit rate {cached.adj_cache_stats['hit_rate']:.0%}) "
+          f"-> {(1 - cached.time / plain.time):.0%} faster")
+
+    # Results are identical regardless of caching or distribution.
+    assert np.allclose(plain.lcc, scores)
+    assert np.array_equal(plain.lcc, cached.lcc)
+    assert plain.global_triangles == triangles
+    print("\ndistributed == cached == local results: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Community structure analysis with LCC (the paper's motivating use case).
+
+LCC "is used to detect communities in, e.g., social networks,
+distinguishing between vertices that are central to the cluster from
+others on its frontier" (paper Section I).  This example builds an
+ego-network graph (Facebook-circles style), computes LCC on a simulated
+cluster, and separates core members from frontier/bridge vertices.
+
+    python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import CacheSpec, LCCConfig, compute_lcc
+from repro.graph import ego_circles
+
+
+def classify(lcc: np.ndarray, degrees: np.ndarray) -> dict[str, np.ndarray]:
+    """Heuristic roles from (LCC, degree) as in clustering-based detection."""
+    active = degrees >= 2
+    hi_lcc = lcc >= 0.4
+    hi_deg = degrees >= np.percentile(degrees[active], 90)
+    return {
+        "community core (high LCC)": np.where(active & hi_lcc & ~hi_deg)[0],
+        "hubs / egos (high degree, lower LCC)": np.where(active & hi_deg & ~hi_lcc)[0],
+        "frontier (low LCC, low degree)": np.where(active & ~hi_lcc & ~hi_deg)[0],
+        "dense hubs (both high)": np.where(active & hi_deg & hi_lcc)[0],
+    }
+
+
+def main() -> None:
+    graph = ego_circles(n_egos=6, circle_size=25, n_circles_per_ego=6, seed=11)
+    print(f"social graph: |V|={graph.n:,} |E|={graph.m:,}")
+
+    cfg = LCCConfig(nranks=8, threads=12,
+                    cache=CacheSpec.paper_split(2 * graph.nbytes, graph.n,
+                                                score="degree"))
+    result = compute_lcc(graph, cfg)
+    lcc = result.lcc
+    degrees = graph.degrees()
+
+    print(f"simulated 8-node run: {result.time * 1e3:.1f} ms, "
+          f"{result.global_triangles:,} triangles\n")
+    for role, members in classify(lcc, degrees).items():
+        if members.size == 0:
+            continue
+        sample = ", ".join(map(str, members[:6]))
+        print(f"{role:40s} {members.size:5d} vertices  (e.g. {sample})")
+
+    # Ego vertices connect many circles: high degree, mediocre LCC.
+    egos = np.argsort(-degrees)[:6]
+    print("\ntop-degree vertices (expected: the egos):")
+    for v in egos:
+        print(f"  vertex {v:5d}  degree {degrees[v]:4d}  LCC {lcc[v]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Experiment harness: data-reuse analytics, sweeps, and the per-figure
+reproduction scripts.
+
+Every table and figure of the paper's evaluation section has a module in
+:mod:`repro.analysis.experiments`; ``python -m repro.analysis.runner --all``
+regenerates them all and prints paper-style tables (recorded in
+EXPERIMENTS.md).
+"""
+
+from repro.analysis.tables import Table
+from repro.analysis.reuse import (
+    remote_read_counts,
+    repetition_histogram,
+    top_degree_read_share,
+)
+from repro.analysis.sweep import run_variants
+from repro.analysis.statistics import MedianCI, median_ci, repeat_over_seeds
+
+__all__ = [
+    "Table",
+    "remote_read_counts",
+    "repetition_histogram",
+    "top_degree_read_share",
+    "run_variants",
+    "MedianCI",
+    "median_ci",
+    "repeat_over_seeds",
+]

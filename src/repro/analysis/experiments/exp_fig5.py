@@ -1,0 +1,56 @@
+"""Figure 5: cache-entry characterization on Facebook circles (2 nodes).
+
+Observation 3.1: in ``C_adj`` the entry size equals the vertex degree and
+correlates with reuse.  Observation 3.2: ``C_offsets`` entries are fixed
+size, but their access frequency still follows the target's degree.  We
+report the rank correlation between degree and remote-access count, and a
+binned degree -> (accesses, entry size) profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.stats as stats
+
+from repro.analysis.reuse import fig5_scatter
+from repro.analysis.tables import Table
+from repro.graph.datasets import load_dataset
+
+
+def run(scale: float = 1.0, seed: int = 0, fast: bool = False) -> list[Table]:
+    g = load_dataset("facebook-circles", scale=scale, seed=seed)
+    degrees, accesses, entry_bytes = fig5_scatter(g, nranks=2)
+
+    corr = Table(["relation", "Spearman rho", "interpretation"],
+                 title=f"Figure 5: degree vs remote accesses on {g.name}, 2 nodes")
+    rho_acc = float(stats.spearmanr(degrees, accesses).statistic)
+    corr.add_row("degree ~ remote accesses (C_offsets reuse)",
+                 round(rho_acc, 3),
+                 "higher-degree vertices are read more (Obs. 3.2)")
+    rho_size = float(stats.spearmanr(degrees, entry_bytes).statistic)
+    corr.add_row("degree ~ C_adj entry size", round(rho_size, 3),
+                 "entry size is the degree itself (Obs. 3.1)")
+
+    binned = Table(["degree bin", "vertices", "mean remote accesses",
+                    "mean C_adj entry (B)"],
+                   title="Binned profile")
+    edges = [1, 4, 16, 64, 256, 10**9]
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (degrees >= lo) & (degrees < hi)
+        if not mask.any():
+            continue
+        label = f"[{lo}, {hi})" if hi < 10**9 else f">= {lo}"
+        binned.add_row(label, int(mask.sum()),
+                       round(float(accesses[mask].mean()), 1),
+                       round(float(entry_bytes[mask].mean()), 1))
+    return [corr, binned]
+
+
+def main() -> None:
+    for table in run():
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Experiment runner: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.analysis.runner --all
+    python -m repro.analysis.runner --exp fig9 fig7 --scale 0.5
+    python -m repro.analysis.runner --all --markdown -o results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+
+
+def run_experiments(names: list[str], scale: float, seed: int, fast: bool,
+                    markdown: bool, out=None) -> None:
+    # Resolve stdout at call time (it may be captured/replaced by tests).
+    out = out if out is not None else sys.stdout
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        tables = module.run(scale=scale, seed=seed, fast=fast)
+        elapsed = time.perf_counter() - start
+        header = f"==== {name} ({elapsed:.1f}s wall) ===="
+        print(header, file=out)
+        for table in tables:
+            print(table.render_markdown() if markdown else table.render(),
+                  file=out)
+            print(file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("--exp", nargs="*", default=[],
+                        choices=sorted(ALL_EXPERIMENTS),
+                        help="experiments to run")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="trimmed sweeps (smoke test)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown tables")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    args = parser.parse_args(argv)
+
+    names = list(ALL_EXPERIMENTS) if args.all else args.exp
+    if not names:
+        parser.error("pass --all or --exp <name>...")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            run_experiments(names, args.scale, args.seed, args.fast,
+                            args.markdown, out=fh)
+    else:
+        run_experiments(names, args.scale, args.seed, args.fast,
+                        args.markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Sweep driver: run algorithm variants over node counts and collect rows.
+
+Used by the Figure 9/10 experiments, which compare four series (LCC
+non-cached, LCC cached, TriC, TriC-Buffered) over a range of node counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.graph.csr import CSRGraph
+from repro.utils.log import get_logger
+
+logger = get_logger("analysis.sweep")
+
+#: A variant maps (graph, nranks) to an object with a ``.time`` attribute.
+Variant = Callable[[CSRGraph, int], Any]
+
+
+@dataclass
+class SweepCell:
+    """One (variant, node count) measurement."""
+
+    variant: str
+    nranks: int
+    time: float
+    result: Any
+
+
+def run_variants(
+    graph: CSRGraph,
+    node_counts: Sequence[int],
+    variants: Mapping[str, Variant],
+) -> list[SweepCell]:
+    """Run every variant at every node count (deterministic order)."""
+    cells: list[SweepCell] = []
+    for nranks in node_counts:
+        for name, fn in variants.items():
+            logger.info("running %s on %s with %d ranks",
+                        name, graph.name or "graph", nranks)
+            result = fn(graph, nranks)
+            cells.append(SweepCell(variant=name, nranks=nranks,
+                                   time=result.time, result=result))
+    return cells
+
+
+def series(cells: Sequence[SweepCell], variant: str) -> list[tuple[int, float]]:
+    """(nranks, time) pairs of one variant, ordered by nranks."""
+    pts = [(c.nranks, c.time) for c in cells if c.variant == variant]
+    return sorted(pts)
+
+
+def speedup(cells: Sequence[SweepCell], variant: str) -> float:
+    """time(smallest config) / time(largest config) — the paper's figure
+    annotations (e.g. '14.0x' on LiveJournal1)."""
+    pts = series(cells, variant)
+    if len(pts) < 2 or pts[-1][1] == 0:
+        return 1.0
+    return pts[0][1] / pts[-1][1]

@@ -1,0 +1,81 @@
+"""Vectorized shared-memory throughput evaluation (Table III, Figure 6).
+
+The shared-memory experiments need the *total* kernel time over every
+edge of a graph for a given method and thread count.  Looping edges in
+Python and calling :class:`~repro.core.threading.OpenMPModel` per edge is
+too slow for the Table III sweep, so this module evaluates the same cost
+formulas vectorized over NumPy arrays of list-length pairs.  A unit test
+pins the vectorized forms to the scalar model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.threading import OpenMPModel
+from repro.graph.csr import CSRGraph
+from repro.utils.units import US
+
+
+def edge_length_pairs(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """(|adj(v)|, |adj(j)|) for every directed edge (v, j)."""
+    deg = graph.degrees()
+    la = np.repeat(deg, deg)             # the source's degree, per edge
+    lb = deg[graph.adjacency]            # the target's degree, per edge
+    return la.astype(np.float64), lb.astype(np.float64)
+
+
+def _ssi_time_vec(m: OpenMPModel, la: np.ndarray, lb: np.ndarray) -> np.ndarray:
+    cm = m.compute
+    seq = cm.edge_overhead + (la + lb) * cm.c_ssi
+    if m.threads == 1:
+        return seq
+    short = np.minimum(la, lb)
+    long_ = np.maximum(la, lb)
+    per_thread = long_ / m.threads + short
+    par = (cm.edge_overhead + m.region_overhead
+           + per_thread * (1.0 + m.chunk_imbalance) * cm.c_ssi)
+    return np.where(la + lb < m.cutoff, seq, par)
+
+
+def _bs_time_vec(m: OpenMPModel, la: np.ndarray, lb: np.ndarray) -> np.ndarray:
+    cm = m.compute
+    short = np.minimum(la, lb)
+    long_ = np.maximum(la, lb)
+    log_term = np.where(long_ > 1, np.maximum(1.0, np.log2(np.maximum(long_, 2))), 1.0)
+    seq = cm.edge_overhead + short * log_term * cm.c_bs
+    # Degenerate tree (<= 1 element): one comparison per key.
+    seq = np.where(long_ <= 1, cm.edge_overhead + short * cm.c_bs, seq)
+    if m.threads == 1:
+        return seq
+    keys_per_thread = np.ceil(short / m.threads)
+    par = (cm.edge_overhead + m.region_overhead
+           + keys_per_thread * log_term * (1.0 + m.chunk_imbalance) * cm.c_bs)
+    return np.where(short < max(1, m.cutoff // 8), seq, par)
+
+
+def kernel_times_vectorized(model: OpenMPModel, method: str,
+                            la: np.ndarray, lb: np.ndarray) -> np.ndarray:
+    """Per-edge kernel times for arrays of list-length pairs."""
+    la = np.asarray(la, dtype=np.float64)
+    lb = np.asarray(lb, dtype=np.float64)
+    if method == "ssi":
+        return _ssi_time_vec(model, la, lb)
+    if method == "binary":
+        return _bs_time_vec(model, la, lb)
+    if method == "hybrid":
+        return np.minimum(_ssi_time_vec(model, la, lb),
+                          _bs_time_vec(model, la, lb))
+    raise ValueError(f"unknown intersection method: {method!r}")
+
+
+def edges_per_microsecond(graph: CSRGraph, method: str,
+                          threads: int = 16,
+                          wait_policy: str = "active") -> float:
+    """The paper's Table III / Figure 6 metric for one graph and method."""
+    model = OpenMPModel(threads=threads, wait_policy=wait_policy)
+    la, lb = edge_length_pairs(graph)
+    if la.shape[0] == 0:
+        return 0.0
+    total = kernel_times_vectorized(model, method, la, lb).sum()
+    return float(la.shape[0] / (total / US))

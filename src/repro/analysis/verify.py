@@ -1,0 +1,154 @@
+"""Reproduction self-check: assert the paper's headline claims quickly.
+
+``python -m repro.analysis.verify`` runs a fast subset of every claim the
+reproduction stands on and prints PASS/FAIL per item — a one-command
+answer to "does this repository still reproduce the paper?".
+
+The checks mirror the benchmark suite's assertions but are trimmed to run
+in about a minute.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.reuse import top_degree_read_share
+from repro.analysis.throughput import edges_per_microsecond
+from repro.baselines.tric import TricConfig, run_tric
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local
+from repro.graph.datasets import load_dataset
+
+
+@dataclass
+class Check:
+    name: str
+    claim: str
+    fn: Callable[[], bool]
+
+
+def _graph(name: str, scale: float = 1.0):
+    return load_dataset(name, scale=scale, seed=0)
+
+
+def check_correctness() -> bool:
+    g = _graph("skitter", 0.3)
+    res = run_distributed_lcc(g, LCCConfig(nranks=8))
+    return bool(np.allclose(res.lcc, lcc_local(g)))
+
+
+def check_hybrid_wins() -> bool:
+    g = _graph("rmat-s20-ef16")
+    h = edges_per_microsecond(g, "hybrid", threads=16)
+    s = edges_per_microsecond(g, "ssi", threads=16)
+    b = edges_per_microsecond(g, "binary", threads=16)
+    return h >= max(s, b) * 0.999 and s > b
+
+
+def check_thread_saturation() -> bool:
+    g = _graph("rmat-s20-ef16")
+    t1 = edges_per_microsecond(g, "hybrid", threads=1)
+    t16 = edges_per_microsecond(g, "hybrid", threads=16)
+    return 1.2 < t16 / t1 < 8.0
+
+
+def check_reuse_concentration() -> bool:
+    uni = top_degree_read_share(_graph("uniform"), 8)
+    pl = top_degree_read_share(_graph("rmat-s21-ef16"), 8)
+    return pl > uni + 0.2
+
+
+def check_caching_helps() -> bool:
+    g = _graph("rmat-s21-ef16")
+    cfg = LCCConfig(nranks=8, threads=12)
+    plain = run_distributed_lcc(g, cfg)
+    cached = run_distributed_lcc(g, cfg.replace(
+        cache=CacheSpec.paper_split(2 * g.nbytes, g.n)))
+    return cached.time < plain.time * 0.8
+
+
+def check_cache_gain_erodes_with_ranks() -> bool:
+    g = _graph("rmat-s21-ef16")
+    gains = []
+    for p in (4, 64):
+        cfg = LCCConfig(nranks=p, threads=12)
+        plain = run_distributed_lcc(g, cfg)
+        cached = run_distributed_lcc(g, cfg.replace(
+            cache=CacheSpec.paper_split(2 * g.nbytes, g.n)))
+        gains.append(1 - cached.time / plain.time)
+    return gains[0] > gains[1] > 0
+
+
+def check_degree_scores_never_lose() -> bool:
+    g = _graph("rmat-s20-ef16")
+    cap = max(4096, g.adjacency.nbytes // 4)
+    rates = {}
+    for score in ("default", "degree"):
+        res = run_distributed_lcc(g, LCCConfig(
+            nranks=8, threads=12,
+            cache=CacheSpec(offsets_bytes=0, adj_bytes=cap, score=score)))
+        rates[score] = res.adj_cache_stats["miss_rate"]
+    return rates["degree"] <= rates["default"] + 1e-9
+
+
+def check_async_beats_tric() -> bool:
+    g = _graph("rmat-s21-ef16")
+    tric = run_tric(g, TricConfig(nranks=16))
+    a = run_distributed_lcc(g, LCCConfig(nranks=16, threads=12))
+    return a.time < tric.time
+
+
+def check_async_scales() -> bool:
+    g = _graph("rmat-s21-ef16")
+    t4 = run_distributed_lcc(g, LCCConfig(nranks=4, threads=12)).time
+    t64 = run_distributed_lcc(g, LCCConfig(nranks=64, threads=12)).time
+    return t4 / t64 > 4.0
+
+
+CHECKS = [
+    Check("correctness", "distributed LCC == local reference", check_correctness),
+    Check("table3", "hybrid beats SSI and binary, SSI beats binary",
+          check_hybrid_wins),
+    Check("fig6", "thread speedup positive but saturating",
+          check_thread_saturation),
+    Check("fig4", "power-law reuse concentration >> uniform",
+          check_reuse_concentration),
+    Check("fig9-cache", "caching cuts runtime by >20% at small scale",
+          check_caching_helps),
+    Check("fig9-erosion", "cache gain erodes with over-partitioning",
+          check_cache_gain_erodes_with_ranks),
+    Check("fig8", "degree eviction scores never lose to stock scores",
+          check_degree_scores_never_lose),
+    Check("fig9-tric", "async LCC beats TriC on scale-free graphs",
+          check_async_beats_tric),
+    Check("fig9-scaling", "async LCC strong-scales 4 -> 64 nodes",
+          check_async_scales),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    failures = 0
+    print("reproduction self-check (fast subset of the claims)\n")
+    for check in CHECKS:
+        start = time.perf_counter()
+        try:
+            ok = check.fn()
+        except Exception as exc:  # pragma: no cover - diagnostic path
+            ok = False
+            print(f"  ERROR {check.name}: {exc!r}")
+        elapsed = time.perf_counter() - start
+        status = "PASS" if ok else "FAIL"
+        failures += not ok
+        print(f"[{status}] {check.name:14s} {check.claim}  ({elapsed:.1f}s)")
+    print(f"\n{len(CHECKS) - failures}/{len(CHECKS)} claims hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Comparison baselines.
+
+* :mod:`~repro.baselines.tric` — TriC (Ghosh & Halappanavar, HPEC'20), the
+  2020 Graph Challenge champion the paper compares against: vertex-centric
+  triangle counting with **blocking all-to-all query exchanges**, whose
+  synchronization cost is the paper's main target.
+* ``TriC-Buffered`` — the fixed-size-buffer variant the paper built to
+  survive TriC's memory blow-up on scale-free graphs (16 MiB cap due to
+  the cray-mpich protocol switch); more rounds, more synchronization.
+* :mod:`~repro.baselines.disttc` — a DistTC-style (Hoang et al., HPEC'19)
+  shadow-edge baseline: replicate every remotely-needed adjacency list up
+  front, then count with zero communication; total time is dominated by
+  the precompute, the scalability limit the paper attributes to it.
+"""
+
+from repro.baselines.tric import TricConfig, run_tric, run_tric_buffered
+from repro.baselines.disttc import DistTCConfig, run_disttc
+from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
+
+__all__ = [
+    "TricConfig",
+    "run_tric",
+    "run_tric_buffered",
+    "DistTCConfig",
+    "run_disttc",
+    "MapReduceConfig",
+    "run_mapreduce_tc",
+]

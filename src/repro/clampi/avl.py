@@ -1,0 +1,220 @@
+"""A self-balancing AVL tree.
+
+CLaMPI stores the free regions of its memory buffer in an AVL tree so that
+best-fit allocation is logarithmic.  Keys are arbitrary comparable tuples;
+the allocator uses ``(size, start)`` so that
+
+* :meth:`AVLTree.ceiling` of ``(size, -1)`` finds the *smallest* free region
+  able to hold ``size`` bytes (best fit), and
+* the rightmost node is the largest free region (fragmentation metric).
+
+The implementation is a classic recursive AVL with parent-free nodes; all
+mutating operations rebuild the spine they touch.  ``check_invariants`` is
+exercised heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("key", "left", "right", "height")
+
+    def __init__(self, key: Any):
+        self.key = key
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.height = 1
+
+
+def _height(node: Optional[_Node]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _Node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _Node) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _Node) -> _Node:
+    _update(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree:
+    """Ordered set of comparable keys with O(log n) ceiling queries."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    # -- mutation --------------------------------------------------------------
+    def insert(self, key: Any) -> None:
+        """Insert ``key``; duplicate keys raise ``KeyError``."""
+        self._root = self._insert(self._root, key)
+        self._size += 1
+
+    def _insert(self, node: Optional[_Node], key: Any) -> _Node:
+        if node is None:
+            return _Node(key)
+        if key == node.key:
+            raise KeyError(f"duplicate key {key!r}")
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+        else:
+            node.right = self._insert(node.right, key)
+        return _rebalance(node)
+
+    def remove(self, key: Any) -> None:
+        """Remove ``key``; missing keys raise ``KeyError``."""
+        self._root, removed = self._remove(self._root, key)
+        if not removed:
+            raise KeyError(f"key not found: {key!r}")
+        self._size -= 1
+
+    def _remove(self, node: Optional[_Node], key: Any) -> tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._remove(node.left, key)
+        elif key > node.key:
+            node.right, removed = self._remove(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            # Replace with in-order successor.
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.key = succ.key
+            node.right, _ = self._remove(node.right, succ.key)
+        return _rebalance(node), removed
+
+    # -- queries ----------------------------------------------------------------
+    def ceiling(self, key: Any) -> Any | None:
+        """Smallest stored key ``>= key``, or None."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key >= key:
+                best = node.key
+                node = node.left
+            else:
+                node = node.right
+        return best
+
+    def floor(self, key: Any) -> Any | None:
+        """Largest stored key ``<= key``, or None."""
+        node, best = self._root, None
+        while node is not None:
+            if node.key <= key:
+                best = node.key
+                node = node.right
+            else:
+                node = node.left
+        return best
+
+    def min(self) -> Any | None:
+        """Smallest key, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max(self) -> Any | None:
+        """Largest key, or None when empty."""
+        node = self._root
+        if node is None:
+            return None
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def __iter__(self) -> Iterator[Any]:
+        """In-order (sorted) iteration."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    # -- validation (test hook) --------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if AVL balance or ordering is violated."""
+        def walk(node: Optional[_Node]) -> tuple[int, Any, Any]:
+            if node is None:
+                return 0, None, None
+            lh, lmin, lmax = walk(node.left)
+            rh, rmin, rmax = walk(node.right)
+            assert abs(lh - rh) <= 1, f"unbalanced at {node.key!r}"
+            assert node.height == 1 + max(lh, rh), f"stale height at {node.key!r}"
+            if lmax is not None:
+                assert lmax < node.key, "left subtree ordering violated"
+            if rmin is not None:
+                assert rmin > node.key, "right subtree ordering violated"
+            return (
+                node.height,
+                lmin if lmin is not None else node.key,
+                rmax if rmax is not None else node.key,
+            )
+
+        count = sum(1 for _ in self)
+        assert count == self._size, f"size mismatch: {count} != {self._size}"
+        walk(self._root)

@@ -1,0 +1,348 @@
+"""The CLaMPI cache proper.
+
+One :class:`ClampiCache` instance sits between one initiating rank and one
+RMA window (Figure 3 of the paper: MPI_Gets are intercepted, looked up in
+the cache, and only on a miss does the remote access happen, after which
+the retrieved data is stored).
+
+Keyed by ``(target_rank, offset, count)``, entries hold the fetched bytes;
+the index is a bounded-probing hash table and the data lives in a bounded
+buffer managed by a best-fit allocator (AVL free list).  Evictions are
+driven by a :class:`~repro.clampi.scores.ScorePolicy`; victim candidates
+are drawn with deterministic sampling (a standard approximation of
+global-minimum-score selection that keeps eviction O(sample) — exact
+selection is used inside hash probe windows, where the candidate set is
+already small).
+
+The cache also *prices* itself: every lookup/insert/eviction charges
+management overhead, which is how the paper's "CLaMPI's overhead leads to
+worse performance than the non-cached version" regime (high compulsory
+misses, Section IV-D2 scenario 2) emerges in our simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.clampi.allocator import BufferAllocator
+from repro.clampi.hashtable import HashIndex
+from repro.clampi.scores import DefaultScorePolicy, ScorePolicy
+from repro.clampi.stats import CacheStats
+from repro.runtime.network import MemoryModel, NetworkModel
+from repro.runtime.window import Window
+from repro.utils.errors import CacheError
+from repro.utils.units import NS, US
+
+
+class ConsistencyMode(enum.Enum):
+    """CLaMPI's three consistency modes (paper Section II-F)."""
+
+    TRANSPARENT = "transparent"    # flush at every epoch closure
+    ALWAYS_CACHE = "always_cache"  # data is read-only; never flush
+    USER_DEFINED = "user_defined"  # application calls flush() explicitly
+
+
+#: Application-score callback: ``(target, offset, count, data) -> score``.
+AppScoreFn = Callable[[int, int, int, np.ndarray], float]
+
+
+@dataclass
+class ClampiConfig:
+    """Tuning knobs of one cache instance.
+
+    ``capacity_bytes`` and ``nslots`` are the two parameters the paper's
+    Section III-B1 is about; ``score_policy`` switches between stock CLaMPI
+    and the degree-centrality extension; the ``*_overhead`` constants price
+    cache management (they are what makes caching non-free).
+    """
+
+    capacity_bytes: int
+    nslots: int = 1024
+    probe_limit: int = 8
+    mode: ConsistencyMode = ConsistencyMode.ALWAYS_CACHE
+    score_policy: ScorePolicy = field(default_factory=DefaultScorePolicy)
+    app_score_fn: Optional[AppScoreFn] = None
+    eviction_sample: int = 16
+    max_evictions_per_insert: int = 64
+    lookup_overhead: float = 150 * NS
+    insert_overhead: float = 250 * NS
+    eviction_overhead: float = 200 * NS
+    seed: int = 0x5EED
+    adaptive: "AdaptiveConfig | None" = None  # resolved lazily to avoid cycle
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise CacheError(f"capacity_bytes must be > 0, got {self.capacity_bytes}")
+        if self.nslots <= 0:
+            raise CacheError(f"nslots must be > 0, got {self.nslots}")
+        if self.eviction_sample <= 0:
+            raise CacheError("eviction_sample must be > 0")
+        if self.score_policy.uses_app_score and self.app_score_fn is None:
+            raise CacheError(
+                "an application-score policy needs app_score_fn to supply scores"
+            )
+
+
+class CacheEntry:
+    """One cached get result."""
+
+    __slots__ = ("key", "data", "buffer_offset", "nbytes", "last_access",
+                 "n_accesses", "app_score")
+
+    def __init__(self, key: tuple, data: np.ndarray, buffer_offset: int,
+                 nbytes: int, clock: int, app_score: float | None):
+        self.key = key
+        self.data = data
+        self.buffer_offset = buffer_offset
+        self.nbytes = nbytes
+        self.last_access = clock
+        self.n_accesses = 1
+        self.app_score = app_score
+
+
+class ClampiCache:
+    """Per-(rank, window) RMA cache implementing the CLaMPI design."""
+
+    def __init__(
+        self,
+        window: Window,
+        rank: int,
+        config: ClampiConfig,
+        *,
+        network: NetworkModel | None = None,
+        memory: MemoryModel | None = None,
+    ):
+        self.window = window
+        self.rank = rank
+        self.config = config
+        self.network = network or NetworkModel.aries()
+        self.memory = memory or MemoryModel()
+        self.stats = CacheStats()
+        self._clock = 0  # logical access clock (drives recency)
+        self._seen: set[tuple] = set()  # for compulsory-miss classification
+        self._rng = random.Random(config.seed ^ (rank * 0x9E3779B9))
+        self._keys: list[tuple] = []       # sampling support:
+        self._key_pos: dict[tuple, int] = {}  # key -> index in _keys
+        self.allocator = BufferAllocator(config.capacity_bytes)
+        self.index = HashIndex(config.nslots, config.probe_limit)
+        self._tuner = None
+        if config.adaptive is not None:
+            from repro.clampi.adaptive import AdaptiveTuner
+
+            self._tuner = AdaptiveTuner(config.adaptive)
+
+    # -- CacheProtocol -----------------------------------------------------------
+    def access(self, target: int, offset: int, count: int
+               ) -> tuple[np.ndarray, float, bool]:
+        """Serve a get through the cache.
+
+        Returns ``(data, duration_seconds, hit)``.  Exact-match semantics:
+        a cached ``(target, offset, count)`` triple only serves an identical
+        request, as in CLaMPI (no partial-range reuse).
+        """
+        self._clock += 1
+        cfg = self.config
+        duration = cfg.lookup_overhead
+        self.stats.mgmt_time += cfg.lookup_overhead
+        key = (target, offset, count)
+        entry: CacheEntry | None = self.index.lookup(key)
+
+        if entry is not None:
+            entry.last_access = self._clock
+            entry.n_accesses += 1
+            duration += self.memory.cache_service_time(entry.nbytes)
+            self.stats.hits += 1
+            self.stats.bytes_served_from_cache += entry.nbytes
+            return entry.data, duration, True
+
+        # Miss: fetch over the network.
+        self.stats.misses += 1
+        if key not in self._seen:
+            self.stats.compulsory_misses += 1
+            self._seen.add(key)
+        data = self.window.read(self.rank, target, offset, count)
+        nbytes = data.nbytes
+        duration += self.network.get_time(nbytes)
+        self.stats.bytes_fetched += nbytes
+
+        duration += self._try_insert(key, data, target, offset, count, nbytes)
+
+        if self._tuner is not None:
+            duration += self._tuner.observe(self)
+
+        return data, duration, False
+
+    def on_epoch_close(self) -> None:
+        """Epoch-closure hook: transparent mode flushes (paper Section II-F)."""
+        if self.config.mode is ConsistencyMode.TRANSPARENT:
+            self.flush()
+
+    # -- insertion & eviction ------------------------------------------------------
+    def _prospective_score(self, key: tuple, app_score: float | None) -> float:
+        """Score the candidate entry *as if* freshly inserted (for guards)."""
+        probe = CacheEntry(key, np.empty(0), 0, 0, self._clock, app_score)
+        return self.config.score_policy.victim_score(probe, self.allocator,
+                                                     self._clock)
+
+    def _try_insert(self, key: tuple, data: np.ndarray, target: int,
+                    offset: int, count: int, nbytes: int) -> float:
+        """Attempt to cache a fetched entry; returns management time spent."""
+        cfg = self.config
+        t = cfg.insert_overhead
+        self.stats.mgmt_time += cfg.insert_overhead
+        if nbytes <= 0 or nbytes > cfg.capacity_bytes:
+            self.stats.insert_failures += 1
+            return t
+
+        app_score: float | None = None
+        if cfg.app_score_fn is not None:
+            app_score = float(cfg.app_score_fn(target, offset, count, data))
+        guard = cfg.score_policy.uses_app_score
+        new_score = self._prospective_score(key, app_score) if guard else None
+
+        # 1. Buffer space (capacity evictions).
+        buf_off = self.allocator.alloc(nbytes)
+        evictions = 0
+        while buf_off is None:
+            if evictions >= cfg.max_evictions_per_insert:
+                self.stats.insert_failures += 1
+                return t
+            victim = self._sample_victim()
+            if victim is None:
+                self.stats.insert_failures += 1
+                return t
+            if guard and self.config.score_policy.victim_score(
+                victim, self.allocator, self._clock
+            ) > new_score:
+                # Everything sampled is more valuable than the newcomer:
+                # do not cache (protects high-degree entries, paper III-B2).
+                self.stats.insert_failures += 1
+                return t
+            self._evict(victim, conflict=False)
+            t += cfg.eviction_overhead
+            self.stats.mgmt_time += cfg.eviction_overhead
+            evictions += 1
+            buf_off = self.allocator.alloc(nbytes)
+
+        entry = CacheEntry(key, data, buf_off, nbytes, self._clock, app_score)
+
+        # 2. Hash slot (conflict evictions inside the probe window).
+        if not self.index.insert(key, entry):
+            self.stats.hash_conflicts += 1
+            window_entries = [e for _, e in self.index.probe_window(key)]
+            if not window_entries:
+                # Pathological (probe window empty yet insert failed).
+                self.allocator.free(buf_off)
+                self.stats.insert_failures += 1
+                return t  # pragma: no cover - defensive
+            victim = min(
+                window_entries,
+                key=lambda e: cfg.score_policy.victim_score(
+                    e, self.allocator, self._clock),
+            )
+            if guard and cfg.score_policy.victim_score(
+                victim, self.allocator, self._clock
+            ) > new_score:
+                self.allocator.free(buf_off)
+                self.stats.insert_failures += 1
+                return t
+            self._evict(victim, conflict=True)
+            t += cfg.eviction_overhead
+            self.stats.mgmt_time += cfg.eviction_overhead
+            if not self.index.insert(key, entry):  # pragma: no cover - defensive
+                self.allocator.free(buf_off)
+                self.stats.insert_failures += 1
+                return t
+
+        self._key_pos[key] = len(self._keys)
+        self._keys.append(key)
+        return t
+
+    def _sample_victim(self) -> CacheEntry | None:
+        """Pick the lowest-score entry among a deterministic random sample."""
+        n = len(self._keys)
+        if n == 0:
+            return None
+        sample_size = min(self.config.eviction_sample, n)
+        if sample_size == n:
+            candidates = list(self._keys)
+        else:
+            candidates = [self._keys[self._rng.randrange(n)]
+                          for _ in range(sample_size)]
+        policy = self.config.score_policy
+        best_key = min(
+            candidates,
+            key=lambda k: policy.victim_score(
+                self.index.lookup(k), self.allocator, self._clock),
+        )
+        return self.index.lookup(best_key)
+
+    def _evict(self, entry: CacheEntry, *, conflict: bool) -> None:
+        """Remove an entry from index, buffer and sampling list."""
+        self.index.remove(entry.key)
+        self.allocator.free(entry.buffer_offset)
+        pos = self._key_pos.pop(entry.key)
+        last = self._keys.pop()
+        if pos < len(self._keys):
+            self._keys[pos] = last
+            self._key_pos[last] = pos
+        if conflict:
+            self.stats.conflict_evictions += 1
+        else:
+            self.stats.capacity_evictions += 1
+
+    # -- maintenance ---------------------------------------------------------------
+    def flush(self) -> None:
+        """Drop every entry (compulsory-miss history is preserved)."""
+        self.index.clear()
+        self.allocator = BufferAllocator(self.config.capacity_bytes)
+        self._keys.clear()
+        self._key_pos.clear()
+        self.stats.flushes += 1
+
+    def resize(self, *, nslots: int | None = None,
+               capacity_bytes: int | None = None) -> None:
+        """Adaptive-tuning hook: change geometry, flushing as CLaMPI does."""
+        if nslots is not None:
+            if nslots <= 0:
+                raise CacheError(f"nslots must be > 0, got {nslots}")
+            self.config.nslots = int(nslots)
+        if capacity_bytes is not None:
+            if capacity_bytes <= 0:
+                raise CacheError(f"capacity must be > 0, got {capacity_bytes}")
+            self.config.capacity_bytes = int(capacity_bytes)
+        self.index = HashIndex(self.config.nslots, self.config.probe_limit)
+        self.allocator = BufferAllocator(self.config.capacity_bytes)
+        self._keys.clear()
+        self._key_pos.clear()
+        self.stats.flushes += 1
+        self.stats.adaptive_resizes += 1
+
+    # -- inspection -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocator.used_bytes
+
+    def entries(self) -> list[CacheEntry]:
+        """Snapshot of live entries (reporting / tests)."""
+        return [self.index.lookup(k) for k in self._keys]
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency (exercised by property tests)."""
+        self.allocator.check_invariants()
+        assert len(self._keys) == len(self._key_pos) == len(self.index)
+        total = 0
+        for key in self._keys:
+            entry = self.index.lookup(key)
+            assert entry is not None, f"indexed key missing: {key}"
+            assert self.allocator.block_size(entry.buffer_offset) == entry.nbytes
+            total += entry.nbytes
+        assert total == self.allocator.used_bytes

@@ -1,0 +1,91 @@
+"""Additional eviction-score policies (paper future-work direction iii).
+
+The paper closes with "studying other application-specific scores for
+cached entries to improve caching efficiency".  This module implements the
+natural candidates and an ablation benchmark compares them:
+
+* :class:`LFUScorePolicy` — pure access-frequency (protects entries that
+  *have been* reused, rather than predicting reuse from degree);
+* :class:`CostAwareScorePolicy` — frequency times refetch cost: evicting a
+  large entry forfeits a more expensive get, so value = expected refetches
+  x bytes;
+* :class:`DensityScorePolicy` — value per cached byte (frequency / size):
+  the knapsack-style heuristic, favouring many small hot entries over one
+  big one;
+* :class:`HybridDegreeLRUPolicy` — the paper's degree score blended with
+  recency, recovering some scan-resistance the pure degree score lacks.
+"""
+
+from __future__ import annotations
+
+from repro.clampi.allocator import BufferAllocator
+from repro.clampi.scores import ScorePolicy
+
+
+class LFUScorePolicy(ScorePolicy):
+    """Evict the least-frequently-used entry (observed reuse)."""
+
+    def victim_score(self, entry, allocator: BufferAllocator, clock: int) -> float:
+        recency = entry.last_access / clock if clock > 0 else 0.0
+        return entry.n_accesses + 1e-6 * recency
+
+
+class CostAwareScorePolicy(ScorePolicy):
+    """Value = observed frequency x refetch cost (bytes).
+
+    A hub adjacency list is both more likely to be reused *and* more
+    expensive to refetch; weighting frequency by size protects exactly the
+    entries whose misses dominate communication time.
+    """
+
+    def victim_score(self, entry, allocator: BufferAllocator, clock: int) -> float:
+        recency = entry.last_access / clock if clock > 0 else 0.0
+        return entry.n_accesses * max(1, entry.nbytes) + recency
+
+
+class DensityScorePolicy(ScorePolicy):
+    """Value per byte: frequency / size (knapsack heuristic).
+
+    The dual of :class:`CostAwareScorePolicy`: under severe capacity
+    pressure, many small warm entries can out-serve one huge hub list.
+    """
+
+    def victim_score(self, entry, allocator: BufferAllocator, clock: int) -> float:
+        recency = entry.last_access / clock if clock > 0 else 0.0
+        return entry.n_accesses / max(1, entry.nbytes) + 1e-9 * recency
+
+
+class HybridDegreeLRUPolicy(ScorePolicy):
+    """Degree score blended with recency.
+
+    ``score = w * degree_norm + (1 - w) * recency`` — degrees predict
+    reuse (Observation 3.1) but a pure degree policy never ages out a hub
+    whose accesses are exhausted; the recency term restores that.
+    """
+
+    def __init__(self, weight: float = 0.7, degree_norm: float = 1024.0):
+        if not (0.0 <= weight <= 1.0):
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        if degree_norm <= 0:
+            raise ValueError("degree_norm must be positive")
+        self.weight = weight
+        self.degree_norm = degree_norm
+
+    @property
+    def uses_app_score(self) -> bool:
+        return True
+
+    def victim_score(self, entry, allocator: BufferAllocator, clock: int) -> float:
+        app = entry.app_score if entry.app_score is not None else 0.0
+        degree_term = min(1.0, app / self.degree_norm)
+        recency = entry.last_access / clock if clock > 0 else 0.0
+        return self.weight * degree_term + (1.0 - self.weight) * recency
+
+
+#: Registry used by the score-policy ablation benchmark.
+EXTENDED_POLICIES = {
+    "lfu": LFUScorePolicy,
+    "cost-aware": CostAwareScorePolicy,
+    "density": DensityScorePolicy,
+    "degree-lru": HybridDegreeLRUPolicy,
+}

@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+::
+
+    python -m repro datasets                         # list stand-ins
+    python -m repro info livejournal                 # graph properties
+    python -m repro lcc livejournal --nranks 16 --cache degree
+    python -m repro tc --input edges.txt --nranks 8 --algorithm tric
+    python -m repro lcc orkut --json                 # machine-readable
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.baselines.disttc import DistTCConfig, run_disttc
+from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
+from repro.baselines.tric import TricConfig, run_tric
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.tc import run_distributed_tc
+from repro.core.tc2d import run_distributed_tc_2d
+from repro.graph.datasets import dataset_names, load_dataset, DATASETS
+from repro.graph.io import read_edge_list
+from repro.graph.properties import degree_stats
+from repro.utils.units import format_bytes, format_seconds
+
+
+def _load_graph(args):
+    if args.input:
+        return read_edge_list(args.input, directed=args.directed)
+    if not args.dataset:
+        raise SystemExit("pass a dataset name or --input FILE")
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _make_config(args) -> LCCConfig:
+    cache = None
+    if args.cache != "none":
+        graph_hint = args._graph_nbytes
+        budget = (args.cache_bytes if args.cache_bytes
+                  else max(4096, 2 * graph_hint))
+        cache = CacheSpec.paper_split(budget, args._graph_n, score=args.cache)
+    return LCCConfig(
+        nranks=args.nranks,
+        threads=args.threads,
+        method=args.method,
+        partition=args.partition,
+        overlap=not args.no_overlap,
+        cache=cache,
+    )
+
+
+def _emit(args, payload: dict) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2, default=float))
+        return
+    for key, value in payload.items():
+        if isinstance(value, float):
+            print(f"{key:28s} {value:.6g}")
+        else:
+            print(f"{key:28s} {value}")
+
+
+def cmd_datasets(args) -> int:
+    for name in dataset_names():
+        spec = DATASETS[name]
+        print(f"{name:18s} {'D' if spec.directed else 'U'}  "
+              f"paper |V|={spec.paper_vertices:>13,}  "
+              f"|E|={spec.paper_edges:>14,}  {spec.description}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    g = _load_graph(args)
+    stats = degree_stats(g)
+    payload = {
+        "name": g.name,
+        "directed": g.directed,
+        "vertices": g.n,
+        "edges": g.m,
+        "csr_bytes": g.nbytes,
+        "csr_size": format_bytes(g.nbytes),
+        **{f"degree_{k}": v for k, v in stats.items()},
+    }
+    _emit(args, payload)
+    return 0
+
+
+def cmd_lcc(args) -> int:
+    g = _load_graph(args)
+    args._graph_nbytes, args._graph_n = g.nbytes, g.n
+    config = _make_config(args)
+    result = run_distributed_lcc(g, config)
+    payload = {
+        "graph": g.name, "vertices": g.n, "edges": g.m,
+        "nranks": args.nranks,
+        "simulated_time_s": result.time,
+        "simulated_time": format_seconds(result.time),
+        "global_triangles": result.global_triangles,
+        "mean_lcc": float(np.mean(result.lcc)),
+        "max_lcc": float(np.max(result.lcc)) if g.n else 0.0,
+        **{k: v for k, v in result.summary().items()
+           if k in ("comm_time", "comp_time", "hit_rate", "remote_fraction",
+                    "load_imbalance")},
+    }
+    if args.top:
+        order = np.argsort(-result.lcc)[:args.top]
+        payload["top_lcc_vertices"] = [
+            {"vertex": int(v), "lcc": float(result.lcc[v])} for v in order]
+    _emit(args, payload)
+    if args.output:
+        np.save(args.output, result.lcc)
+        print(f"LCC scores written to {args.output}", file=sys.stderr)
+    return 0
+
+
+ALGORITHMS = {
+    "async": lambda g, a: run_distributed_tc(g, LCCConfig(
+        nranks=a.nranks, threads=a.threads)),
+    "async-2d": lambda g, a: run_distributed_tc_2d(g, LCCConfig(
+        nranks=a.nranks, threads=a.threads)),
+    "tric": lambda g, a: run_tric(g, TricConfig(nranks=a.nranks)),
+    "disttc": lambda g, a: run_disttc(g, DistTCConfig(nranks=a.nranks)),
+    "mapreduce": lambda g, a: run_mapreduce_tc(g, MapReduceConfig(
+        nranks=a.nranks)),
+}
+
+
+def cmd_tc(args) -> int:
+    g = _load_graph(args)
+    result = ALGORITHMS[args.algorithm](g, args)
+    payload = {
+        "graph": g.name, "vertices": g.n, "edges": g.m,
+        "algorithm": args.algorithm, "nranks": args.nranks,
+        "triangles": result.global_triangles,
+        "simulated_time_s": result.time,
+        "simulated_time": format_seconds(result.time),
+    }
+    _emit(args, payload)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asynchronous distributed TC/LCC with RMA caching "
+                    "(IPDPS'22 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("dataset", nargs="?", default=None,
+                       help="a registered dataset name")
+        p.add_argument("--input", help="edge-list file instead of a dataset")
+        p.add_argument("--directed", action="store_true",
+                       help="treat --input as directed")
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("datasets", help="list dataset stand-ins")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("info", help="show graph properties")
+    add_graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("lcc", help="distributed LCC on the simulated cluster")
+    add_graph_args(p)
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument("--threads", type=int, default=12)
+    p.add_argument("--method", choices=["ssi", "binary", "hybrid"],
+                   default="hybrid")
+    p.add_argument("--partition", choices=["block", "cyclic"],
+                   default="block")
+    p.add_argument("--cache", choices=["none", "default", "degree", "lru"],
+                   default="none", help="eviction-score policy, or none")
+    p.add_argument("--cache-bytes", type=int, default=None,
+                   help="total cache budget (default: 2x graph size)")
+    p.add_argument("--no-overlap", action="store_true",
+                   help="disable double buffering")
+    p.add_argument("--top", type=int, default=0,
+                   help="print the top-K LCC vertices")
+    p.add_argument("--output", help="write LCC scores to a .npy file")
+    p.set_defaults(fn=cmd_lcc)
+
+    p = sub.add_parser("tc", help="triangle counting (several algorithms)")
+    add_graph_args(p)
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument("--threads", type=int, default=12)
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                   default="async")
+    p.set_defaults(fn=cmd_tc)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

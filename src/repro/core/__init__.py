@@ -1,0 +1,51 @@
+"""The paper's primary contribution: asynchronous distributed TC and LCC.
+
+* :mod:`~repro.core.intersect` — binary-search and sorted-set-intersection
+  counting kernels and the hybrid decision rule (paper Eq. 3);
+* :mod:`~repro.core.threading` — the OpenMP edge-level parallelisation cost
+  model (Section III-C);
+* :mod:`~repro.core.lcc` / :mod:`~repro.core.tc` — Algorithm 3 over the
+  simulated RMA runtime, with optional CLaMPI caching and double-buffering
+  overlap;
+* :mod:`~repro.core.local` — single-node reference implementations used as
+  ground truth;
+* :mod:`~repro.core.api` — the stable public entry points.
+"""
+
+from repro.core.config import CacheSpec, LCCConfig, DistributedRunResult
+from repro.core.intersect import (
+    binary_search_count,
+    count_common,
+    count_common_above,
+    hybrid_count,
+    ssi_count,
+)
+from repro.core.threading import OpenMPModel
+from repro.core.local import lcc_local, triangle_count_local, triangles_per_vertex_local
+from repro.core.api import (
+    compute_lcc,
+    count_triangles,
+    run_distributed_lcc,
+    run_distributed_tc,
+)
+from repro.core.tc2d import run_distributed_tc_2d
+
+__all__ = [
+    "CacheSpec",
+    "LCCConfig",
+    "DistributedRunResult",
+    "ssi_count",
+    "binary_search_count",
+    "hybrid_count",
+    "count_common",
+    "count_common_above",
+    "OpenMPModel",
+    "lcc_local",
+    "triangle_count_local",
+    "triangles_per_vertex_local",
+    "compute_lcc",
+    "count_triangles",
+    "run_distributed_lcc",
+    "run_distributed_tc",
+    "run_distributed_tc_2d",
+]

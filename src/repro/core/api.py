@@ -1,0 +1,65 @@
+"""Stable public entry points.
+
+Quickstart::
+
+    from repro.core import compute_lcc, count_triangles, LCCConfig, CacheSpec
+    from repro.graph import load_dataset
+
+    g = load_dataset("livejournal")
+
+    # Single node:
+    scores = compute_lcc(g)
+
+    # Simulated cluster of 16 nodes with the paper's cached configuration:
+    cfg = LCCConfig(nranks=16, cache=CacheSpec.paper_split(2**24, g.n,
+                                                           score="degree"))
+    result = compute_lcc(g, cfg)
+    print(result.time, result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import overload
+
+import numpy as np
+
+from repro.core.config import DistributedRunResult, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local, triangle_count_local
+from repro.core.tc import run_distributed_tc
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "compute_lcc",
+    "count_triangles",
+    "run_distributed_lcc",
+    "run_distributed_tc",
+]
+
+
+def compute_lcc(graph: CSRGraph, config: LCCConfig | None = None
+                ) -> np.ndarray | DistributedRunResult:
+    """Local clustering coefficient of every vertex.
+
+    Without a config this computes locally and returns the score array;
+    with a config it runs the distributed algorithm on the simulated
+    cluster and returns the full :class:`DistributedRunResult` (whose
+    ``.lcc`` attribute holds the same array, bit-identical to the local
+    computation).
+    """
+    if config is None:
+        return lcc_local(graph)
+    return run_distributed_lcc(graph, config)
+
+
+def count_triangles(graph: CSRGraph, config: LCCConfig | None = None
+                    ) -> int | DistributedRunResult:
+    """Global triangle count (undirected) / transitive triads (directed).
+
+    Without a config: a local count, returned as an int.  With a config:
+    the distributed edge-centric count with upper-triangle deduplication,
+    returned as a :class:`DistributedRunResult`.
+    """
+    if config is None:
+        return triangle_count_local(graph)
+    return run_distributed_tc(graph, config)

@@ -1,0 +1,211 @@
+"""Synthetic graph generators.
+
+The paper evaluates on R-MAT graphs (a=0.57, b=c=0.19, d=0.05 — the
+Graph500 parameters it quotes) and on SNAP/KONECT/UbiCrawler real-world
+graphs.  The latter are not redistributable offline, so
+:mod:`repro.graph.datasets` builds stand-ins from the generators here:
+
+* :func:`rmat` — the recursive-matrix model, vectorized over edges;
+* :func:`powerlaw_configuration` — configuration model with a Zipf degree
+  law, the stand-in for scale-free social networks (LiveJournal, Orkut...);
+* :func:`erdos_renyi` — the "Uniform" degree-distribution contrast of
+  Figure 4;
+* :func:`ego_circles` — overlapping dense circles around ego vertices, a
+  stand-in for the Facebook-circles dataset of Figures 1 and 5;
+* small deterministic shapes (cliques, rings of cliques) for unit tests
+  with hand-countable triangle counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ConfigError
+from repro.utils.rng import make_rng
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    d: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """R-MAT graph with ``2**scale`` vertices and ``edge_factor * 2**scale``
+    edge samples (duplicates and self-loops are dropped, as in the paper's
+    simple-graph setting, so the final edge count is slightly lower).
+    """
+    if scale < 1 or scale > 26:
+        raise ConfigError(f"rmat scale out of supported range [1, 26]: {scale}")
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise ConfigError(f"rmat probabilities must sum to 1, got {a+b+c+d}")
+    rng = make_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Quadrant probabilities: (row_bit, col_bit) in {(0,0),(0,1),(1,0),(1,1)}.
+    p = np.array([a, b, c, d])
+    cum = np.cumsum(p)
+    for bit in range(scale):
+        u = rng.random(m)
+        quadrant = np.searchsorted(cum, u, side="right")
+        src = (src << 1) | (quadrant >> 1)
+        dst = (dst << 1) | (quadrant & 1)
+    edges = np.column_stack([src, dst])
+    return CSRGraph.from_edges(edges, n, directed=directed,
+                               name=name or f"rmat-s{scale}-ef{edge_factor}")
+
+
+def erdos_renyi(
+    n: int,
+    m: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """G(n, m)-style uniform graph (``m`` edge samples, duplicates dropped)."""
+    if n < 2:
+        raise ConfigError(f"erdos_renyi needs n >= 2, got {n}")
+    rng = make_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    return CSRGraph.from_edges(np.column_stack([src, dst]), n,
+                               directed=directed, name=name or f"uniform-n{n}")
+
+
+def powerlaw_configuration(
+    n: int,
+    m: int,
+    *,
+    gamma: float = 2.3,
+    max_degree: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+    name: str = "",
+) -> CSRGraph:
+    """Configuration-model graph with a Zipf(``gamma``) degree law.
+
+    Degrees are sampled from a truncated power law and rescaled so the stub
+    count is ~``2 m``; stubs are then matched uniformly at random.  This is
+    the standard stand-in for scale-free social graphs: it preserves the
+    property the paper's caching analysis rests on — a small set of
+    high-degree vertices attracting most remote reads (Observation 3.1).
+    """
+    if n < 2:
+        raise ConfigError(f"powerlaw_configuration needs n >= 2, got {n}")
+    if gamma <= 1.0:
+        raise ConfigError(f"gamma must be > 1, got {gamma}")
+    rng = make_rng(seed)
+    cap = max_degree if max_degree is not None else max(4, n // 8)
+    # Inverse-CDF sampling of a truncated discrete power law on [1, cap].
+    ks = np.arange(1, cap + 1, dtype=np.float64)
+    weights = ks ** (-gamma)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    degrees = np.searchsorted(cdf, rng.random(n), side="left") + 1
+    # Rescale to hit the target stub count while keeping the shape.
+    target_stubs = 2 * m
+    scale_f = target_stubs / degrees.sum()
+    degrees = np.maximum(1, np.round(degrees * scale_f)).astype(np.int64)
+    if degrees.sum() % 2 == 1:
+        degrees[int(np.argmax(degrees))] += 1
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    half = stubs.shape[0] // 2
+    edges = np.column_stack([stubs[:half], stubs[half:2 * half]])
+    return CSRGraph.from_edges(edges, n, directed=directed,
+                               name=name or f"powerlaw-n{n}")
+
+
+def ego_circles(
+    n_egos: int = 10,
+    circle_size: int = 40,
+    n_circles_per_ego: int = 10,
+    *,
+    p_intra: float = 0.55,
+    p_bridge: float = 0.002,
+    seed: int | np.random.Generator | None = None,
+    name: str = "",
+) -> CSRGraph:
+    """Ego-network stand-in for the Facebook-circles dataset.
+
+    Each ego vertex connects to every member of its circles; circles are
+    dense internally (``p_intra``) and sparse across (``p_bridge``).  This
+    yields the high clustering and hub-dominated remote-read pattern the
+    paper shows in Figures 1 and 5.
+    """
+    rng = make_rng(seed)
+    members_per_ego = circle_size * n_circles_per_ego
+    n = n_egos * (1 + members_per_ego)
+    edges: list[np.ndarray] = []
+    for ego_idx in range(n_egos):
+        base = ego_idx * (1 + members_per_ego)
+        ego = base
+        members = np.arange(base + 1, base + 1 + members_per_ego)
+        # Ego-to-member spokes.
+        edges.append(np.column_stack([np.full(members.shape[0], ego), members]))
+        # Dense intra-circle links.
+        for ci in range(n_circles_per_ego):
+            circle = members[ci * circle_size:(ci + 1) * circle_size]
+            iu, iv = np.triu_indices(circle.shape[0], k=1)
+            mask = rng.random(iu.shape[0]) < p_intra
+            edges.append(np.column_stack([circle[iu[mask]], circle[iv[mask]]]))
+    # Sparse bridges across the whole graph.
+    n_bridges = int(p_bridge * n * n)
+    if n_bridges:
+        bs = rng.integers(0, n, size=n_bridges)
+        bd = rng.integers(0, n, size=n_bridges)
+        edges.append(np.column_stack([bs, bd]))
+    all_edges = np.concatenate(edges, axis=0)
+    return CSRGraph.from_edges(all_edges, n, directed=False,
+                               name=name or "ego-circles")
+
+
+# -- small deterministic shapes (tests) -----------------------------------------
+
+def complete_graph(n: int, name: str = "") -> CSRGraph:
+    """K_n — has exactly C(n, 3) triangles and LCC 1 everywhere."""
+    iu, iv = np.triu_indices(n, k=1)
+    return CSRGraph.from_edges(np.column_stack([iu, iv]), n,
+                               name=name or f"K{n}")
+
+
+def ring_of_cliques(n_cliques: int, clique_size: int, name: str = "") -> CSRGraph:
+    """``n_cliques`` copies of K_k joined in a ring by single edges.
+
+    Triangles: ``n_cliques * C(k, 3)`` (ring edges close no triangles).
+    """
+    if clique_size < 2:
+        raise ConfigError("clique_size must be >= 2")
+    edges = []
+    for ci in range(n_cliques):
+        base = ci * clique_size
+        iu, iv = np.triu_indices(clique_size, k=1)
+        edges.append(np.column_stack([iu + base, iv + base]))
+        nxt = ((ci + 1) % n_cliques) * clique_size
+        edges.append(np.array([[base, nxt]]))
+    n = n_cliques * clique_size
+    return CSRGraph.from_edges(np.concatenate(edges), n,
+                               name=name or f"ring{n_cliques}xK{clique_size}")
+
+
+def star_graph(n_leaves: int, name: str = "") -> CSRGraph:
+    """A star — zero triangles, LCC 0 everywhere."""
+    leaves = np.arange(1, n_leaves + 1)
+    edges = np.column_stack([np.zeros_like(leaves), leaves])
+    return CSRGraph.from_edges(edges, n_leaves + 1, name=name or f"star{n_leaves}")
+
+
+def path_graph(n: int, name: str = "") -> CSRGraph:
+    """A simple path — zero triangles."""
+    src = np.arange(n - 1)
+    return CSRGraph.from_edges(np.column_stack([src, src + 1]), n,
+                               name=name or f"path{n}")

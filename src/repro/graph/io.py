@@ -1,0 +1,84 @@
+"""Graph I/O: edge-list text and binary CSR formats.
+
+The paper reads SNAP-style edge lists and distributes chunks during the
+(untimed) load phase; we provide the same text format plus a fast ``.npz``
+binary for round-tripping generated datasets.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import GraphFormatError
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, *,
+                    comments: bool = True) -> None:
+    """Write a SNAP-style whitespace-separated edge list.
+
+    Undirected graphs emit each edge once (``u < v``).
+    """
+    path = Path(path)
+    edges = graph.edges()
+    if not graph.directed:
+        edges = edges[edges[:, 0] < edges[:, 1]]
+    with path.open("w") as fh:
+        if comments:
+            kind = "directed" if graph.directed else "undirected"
+            fh.write(f"# {graph.name or 'graph'}: {kind}, "
+                     f"n={graph.n}, m={graph.m}\n")
+            fh.write("# FromNodeId\tToNodeId\n")
+        np.savetxt(fh, edges, fmt="%d", delimiter="\t")
+
+
+def read_edge_list(path: str | Path, *, directed: bool = False,
+                   n: int | None = None, name: str = "") -> CSRGraph:
+    """Read a SNAP-style edge list (``#`` lines are comments)."""
+    path = Path(path)
+    rows: list[tuple[int, int]] = []
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected two vertex ids, got {line!r}"
+                )
+            try:
+                rows.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from None
+    edges = np.array(rows, dtype=np.int64) if rows else np.empty((0, 2), np.int64)
+    return CSRGraph.from_edges(edges, n, directed=directed,
+                               name=name or path.stem)
+
+
+def save_csr(graph: CSRGraph, path: str | Path) -> None:
+    """Save to a compressed ``.npz`` (offsets + adjacency + flags)."""
+    np.savez_compressed(
+        Path(path),
+        offsets=graph.offsets,
+        adjacency=graph.adjacency,
+        directed=np.array([graph.directed]),
+        name=np.array([graph.name]),
+    )
+
+
+def load_csr(path: str | Path) -> CSRGraph:
+    """Load a graph written by :func:`save_csr`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        try:
+            return CSRGraph(
+                data["offsets"],
+                data["adjacency"],
+                directed=bool(data["directed"][0]),
+                name=str(data["name"][0]),
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: not a CSR archive ({exc})") from None

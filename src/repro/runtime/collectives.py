@@ -1,0 +1,119 @@
+"""Rendezvous bookkeeping for collectives.
+
+The engine delegates the "wait for everyone, then complete together" logic
+to :class:`CollectiveState`.  Completion times follow the cost model in
+:class:`~repro.runtime.network.NetworkModel`:
+
+* **barrier** — everyone resumes at ``max(arrival) + barrier_time(p)``;
+* **alltoallv** — everyone resumes at ``max(arrival) + max_r cost_r`` where
+  ``cost_r`` accounts for rank ``r``'s sent+received bytes.  Using the *max*
+  per-rank cost models the blocking semantics the paper blames for TriC's
+  synchronization overhead: the slowest, most loaded rank gates everyone.
+* **allreduce** — a dissemination pattern: ``log2(p)`` latency stages.
+
+Collective calls are matched by sequence number per rank; mixing up the
+order (rank 0 at a barrier while rank 1 is at an alltoallv) is a program
+bug and raises :class:`~repro.utils.errors.CommError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.runtime.network import NetworkModel
+from repro.utils.errors import CommError
+
+
+@dataclass
+class _PendingCollective:
+    """State of the collective with one sequence number."""
+
+    kind: str
+    arrivals: dict[int, float] = field(default_factory=dict)
+    payloads: dict[int, Any] = field(default_factory=dict)
+
+
+class CollectiveState:
+    """Matches collective participation across ranks and times completion."""
+
+    def __init__(self, nranks: int, network: NetworkModel):
+        self.nranks = nranks
+        self.network = network
+        # Sequence number of the *next* collective each rank will join.
+        self._seq: list[int] = [0] * nranks
+        self._pending: dict[int, _PendingCollective] = {}
+
+    def join(self, rank: int, kind: str, arrival: float, payload: Any = None) -> int:
+        """Register ``rank`` at its next collective; returns its seq number."""
+        seq = self._seq[rank]
+        self._seq[rank] += 1
+        pend = self._pending.get(seq)
+        if pend is None:
+            pend = _PendingCollective(kind=kind)
+            self._pending[seq] = pend
+        elif pend.kind != kind:
+            raise CommError(
+                f"collective mismatch at sequence {seq}: rank {rank} joined "
+                f"{kind!r} but earlier ranks joined {pend.kind!r}"
+            )
+        if rank in pend.arrivals:
+            raise CommError(f"rank {rank} joined collective {seq} twice")
+        pend.arrivals[rank] = arrival
+        pend.payloads[rank] = payload
+        return seq
+
+    def complete(self, seq: int) -> bool:
+        """True when every rank has joined collective ``seq``."""
+        pend = self._pending.get(seq)
+        return pend is not None and len(pend.arrivals) == self.nranks
+
+    def finish(self, seq: int) -> tuple[float, dict[int, Any]]:
+        """Resolve collective ``seq``: returns ``(completion_time, results)``.
+
+        ``results[rank]`` is what the rank's generator is resumed with.
+        """
+        pend = self._pending.pop(seq)
+        if len(pend.arrivals) != self.nranks:
+            raise CommError(f"collective {seq} finished before all ranks joined")
+        start = max(pend.arrivals.values())
+
+        if pend.kind == "barrier":
+            done = start + self.network.barrier_time(self.nranks)
+            return done, {r: None for r in range(self.nranks)}
+
+        if pend.kind == "allreduce":
+            stages = math.ceil(math.log2(self.nranks)) if self.nranks > 1 else 0
+            nbytes = max((p[1] for p in pend.payloads.values()), default=8)
+            done = start + stages * (self.network.alpha + nbytes * self.network.beta)
+            total = sum(p[0] for p in pend.payloads.values())
+            return done, {r: total for r in range(self.nranks)}
+
+        if pend.kind == "alltoallv":
+            # payloads[r] = (list_of_payloads_by_dest, list_of_nbytes_by_dest)
+            sent = {r: sum(pend.payloads[r][1]) - pend.payloads[r][1][r]
+                    for r in range(self.nranks)}
+            recv = {r: sum(pend.payloads[s][1][r]
+                           for s in range(self.nranks) if s != r)
+                    for r in range(self.nranks)}
+            worst = max(
+                self.network.alltoallv_rank_time(sent[r], recv[r], self.nranks)
+                for r in range(self.nranks)
+            )
+            done = start + worst
+            results = {
+                r: [pend.payloads[s][0][r] for s in range(self.nranks)]
+                for r in range(self.nranks)
+            }
+            return done, results
+
+        raise CommError(f"unknown collective kind {pend.kind!r}")
+
+    def blocked_description(self) -> str:
+        """Human-readable summary of incomplete collectives (deadlock dumps)."""
+        parts = []
+        for seq, pend in sorted(self._pending.items()):
+            missing = sorted(set(range(self.nranks)) - set(pend.arrivals))
+            parts.append(f"seq {seq} ({pend.kind}): waiting for ranks {missing}")
+        return "; ".join(parts) if parts else "none"

@@ -1,0 +1,109 @@
+"""Compute-cost model for the intersection kernels.
+
+The distributed experiments in the paper are communication-bound, but the
+shared-memory results (Table III, Figure 6) and the computation/communication
+overlap depend on how long an adjacency-list intersection takes.  We charge
+analytic costs per kernel invocation:
+
+* **Sorted set intersection (SSI)** walks both lists linearly —
+  ``(|A| + |B|)`` sequential comparisons with near-perfect cache behaviour
+  (Hu et al.'s observation, restated in Section IV-C), so it gets the lower
+  per-comparison cost ``c_ssi``.
+* **Binary search** issues ``|A|`` searches into ``B`` — ``|A| * log2 |B|``
+  random accesses with poor cache behaviour, hence a higher per-comparison
+  cost ``c_bs``.
+
+These two constants are the whole reason a hybrid exists: SSI wins on
+similar-length lists, binary search wins on highly skewed pairs (the paper's
+Eq. 3 decision rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.units import NS
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Per-operation compute costs for triangle counting.
+
+    Parameters
+    ----------
+    c_ssi:
+        Seconds per element for the linear-scan SSI kernel.  Calibrated
+        against the paper's Table III throughput (~0.2-0.5 edges/us on
+        R-MAT EF16, i.e. a few microseconds per edge): even a streaming
+        kernel spends tens of nanoseconds per element on a real CPU once
+        the lists fall out of L1.
+    c_bs:
+        Seconds per comparison for binary search — random accesses into the
+        lookup tree miss cache ("the main weakness of binary search on
+        CPUs", Section IV-C), so it is several times ``c_ssi``.
+    edge_overhead:
+        Fixed per-edge bookkeeping (loop control, counter updates).
+    vertex_overhead:
+        Fixed per-vertex cost of finalizing an LCC score (one division).
+    """
+
+    c_ssi: float = 55 * NS
+    c_bs: float = 140 * NS
+    edge_overhead: float = 80 * NS
+    vertex_overhead: float = 60 * NS
+
+    def __post_init__(self) -> None:
+        require_positive("c_ssi", self.c_ssi)
+        require_positive("c_bs", self.c_bs)
+        require_non_negative("edge_overhead", self.edge_overhead)
+        require_non_negative("vertex_overhead", self.vertex_overhead)
+
+    # -- sequential kernel costs ---------------------------------------------
+    def ssi_time(self, len_a: int, len_b: int) -> float:
+        """Sequential SSI over lists of the given lengths."""
+        return self.edge_overhead + (len_a + len_b) * self.c_ssi
+
+    def binary_search_time(self, len_a: int, len_b: int) -> float:
+        """Sequential binary search; the shorter list supplies the keys."""
+        keys, tree = (len_a, len_b) if len_a <= len_b else (len_b, len_a)
+        if tree <= 1:
+            comparisons = keys
+        else:
+            comparisons = keys * max(1.0, math.log2(tree))
+        return self.edge_overhead + comparisons * self.c_bs
+
+    def hybrid_time(self, len_a: int, len_b: int) -> float:
+        """Cost of the hybrid kernel: the cheaper method for this pair.
+
+        The paper's Eq. 3 rule is the comparison-count instantiation of
+        "pick the cheaper kernel" (it assumes both comparisons cost the
+        same); with explicit per-comparison constants the equivalent rule
+        is a direct cost comparison, which reduces to Eq. 3 when
+        ``c_bs == c_ssi``.
+        """
+        return min(self.ssi_time(len_a, len_b),
+                   self.binary_search_time(len_a, len_b))
+
+    def kernel_time(self, method: str, len_a: int, len_b: int) -> float:
+        """Dispatch by method name ('ssi' | 'binary' | 'hybrid')."""
+        if method == "ssi":
+            return self.ssi_time(len_a, len_b)
+        if method == "binary":
+            return self.binary_search_time(len_a, len_b)
+        if method == "hybrid":
+            return self.hybrid_time(len_a, len_b)
+        raise ValueError(f"unknown intersection method: {method!r}")
+
+
+def prefer_ssi(len_a: int, len_b: int) -> bool:
+    """Decision rule (paper Eq. 3): SSI iff ``|B|/|A| <= log2(|B|) - 1``.
+
+    ``A`` is the shorter list.  Degenerate sizes fall back to SSI, which is
+    never asymptotically worse for near-equal lengths.
+    """
+    short, long_ = (len_a, len_b) if len_a <= len_b else (len_b, len_a)
+    if short == 0 or long_ <= 2:
+        return True
+    return (long_ / short) <= (math.log2(long_) - 1.0)

@@ -1,0 +1,66 @@
+"""Request objects yielded by rank programs to the engine.
+
+A rank program that needs two-sided communication or a collective is written
+as a generator; it ``yield``s one of these requests and the engine resumes
+it with the operation's result.  One-sided RMA (get/put) never blocks on a
+peer and therefore needs no request object — it is a plain method call on
+:class:`~repro.runtime.context.SimContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """Post an (eager, non-blocking) message to ``dest``.
+
+    ``nbytes`` drives the cost model; ``payload`` is delivered verbatim to
+    the matching receive.  The engine resumes the sender immediately after
+    charging the local injection overhead.
+    """
+
+    dest: int
+    payload: Any
+    nbytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class RecvRequest:
+    """Block until a message from ``source`` with ``tag`` arrives."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Block until every rank reaches its matching barrier."""
+
+
+@dataclass(frozen=True)
+class AlltoallvRequest:
+    """Personalized all-to-all exchange (the TriC communication pattern).
+
+    ``payloads[j]`` / ``nbytes[j]`` is what this rank sends to rank ``j``
+    (entry for the own rank is permitted and delivered locally for free).
+    The engine resumes the rank with the list of received payloads, indexed
+    by source rank.
+    """
+
+    payloads: Sequence[Any]
+    nbytes: Sequence[int]
+
+
+@dataclass(frozen=True)
+class AllreduceRequest:
+    """Reduce a scalar across ranks (sum); resumes with the global value."""
+
+    value: float
+    nbytes: int = 8
+
+
+Request = (SendRequest, RecvRequest, BarrierRequest, AlltoallvRequest, AllreduceRequest)

@@ -1,0 +1,123 @@
+"""Timeline export and rendering for traced runs.
+
+With ``record_ops=True`` every context keeps an operation log; this module
+turns those logs into analyzable/exportable forms:
+
+* :func:`to_rows` / :func:`write_csv` — flat records for external tools;
+* :func:`comm_comp_profile` — time-bucketed communication/computation
+  occupancy per rank (how the paper's "communication dominates" claims
+  are visualized);
+* :func:`render_ascii_gantt` — a terminal Gantt chart of rank activity,
+  used by the debugging workflow and the docs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.engine import RunOutcome
+from repro.runtime.trace import OpKind, OpRecord, RankTrace
+
+#: Op kinds regarded as communication for occupancy profiles.
+COMM_KINDS = {OpKind.GET_REMOTE, OpKind.PUT, OpKind.SEND, OpKind.RECV,
+              OpKind.ALLTOALLV}
+
+
+def to_rows(outcome: RunOutcome) -> list[dict]:
+    """Flatten every recorded op into dict rows (rank, kind, window, ...)."""
+    rows = []
+    for trace in outcome.traces:
+        for op in trace.ops:
+            rows.append({
+                "rank": trace.rank,
+                "kind": op.kind.value,
+                "window": op.window,
+                "target": op.target,
+                "offset": op.offset,
+                "count": op.count,
+                "nbytes": op.nbytes,
+                "t": op.t,
+            })
+    rows.sort(key=lambda r: (r["t"], r["rank"]))
+    return rows
+
+
+def write_csv(outcome: RunOutcome, path: str | Path) -> int:
+    """Write the op log to CSV; returns the number of rows written."""
+    rows = to_rows(outcome)
+    fields = ["rank", "kind", "window", "target", "offset", "count",
+              "nbytes", "t"]
+    with Path(path).open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def comm_comp_profile(outcome: RunOutcome, buckets: int = 20
+                      ) -> dict[int, np.ndarray]:
+    """Per-rank communication occupancy over ``buckets`` time slices.
+
+    Returns ``{rank: fraction_of_ops_that_were_comm per bucket}``; ops are
+    attributed to the bucket containing their completion time.
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    horizon = max(outcome.time, 1e-30)
+    profile: dict[int, np.ndarray] = {}
+    for trace in outcome.traces:
+        comm = np.zeros(buckets)
+        total = np.zeros(buckets)
+        for op in trace.ops:
+            b = min(buckets - 1, int(op.t / horizon * buckets))
+            total[b] += 1
+            if op.kind in COMM_KINDS:
+                comm[b] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = np.where(total > 0, comm / np.maximum(total, 1), 0.0)
+        profile[trace.rank] = frac
+    return profile
+
+
+def render_ascii_gantt(outcome: RunOutcome, width: int = 60) -> str:
+    """A terminal Gantt chart: one row per rank, '#' comm / '.' compute.
+
+    Each column is a time slice; the dominant activity in the slice picks
+    the glyph ('#'=communication, '.'=computation/local, ' '=idle).
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    horizon = max(outcome.time, 1e-30)
+    lines = [f"time 0 .. {horizon:.3e} s  ('#' comm, '.' compute, ' ' idle)"]
+    for trace in outcome.traces:
+        comm = np.zeros(width)
+        comp = np.zeros(width)
+        for op in trace.ops:
+            b = min(width - 1, int(op.t / horizon * width))
+            if op.kind in COMM_KINDS:
+                comm[b] += 1
+            else:
+                comp[b] += 1
+        glyphs = []
+        for b in range(width):
+            if comm[b] == 0 and comp[b] == 0:
+                glyphs.append(" ")
+            elif comm[b] >= comp[b]:
+                glyphs.append("#")
+            else:
+                glyphs.append(".")
+        lines.append(f"rank {trace.rank:3d} |{''.join(glyphs)}|")
+    return "\n".join(lines)
+
+
+def summarize_ops(trace: RankTrace) -> dict[str, int]:
+    """Count recorded ops by kind for one rank."""
+    counts: dict[str, int] = {}
+    for op in trace.ops:
+        counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+    return counts

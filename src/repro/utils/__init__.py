@@ -1,0 +1,45 @@
+"""Shared utilities: units, RNG handling, logging, validation, errors.
+
+These helpers are deliberately dependency-free (NumPy only) so that every
+other subpackage can import them without cycles.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    WindowError,
+    EpochError,
+    CacheError,
+    PartitionError,
+    ConfigError,
+)
+from repro.utils.units import (
+    KiB,
+    MiB,
+    GiB,
+    US,
+    MS,
+    NS,
+    format_bytes,
+    format_seconds,
+)
+from repro.utils.rng import make_rng, spawn_rngs, derive_seed
+
+__all__ = [
+    "ReproError",
+    "WindowError",
+    "EpochError",
+    "CacheError",
+    "PartitionError",
+    "ConfigError",
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "NS",
+    "format_bytes",
+    "format_seconds",
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+]

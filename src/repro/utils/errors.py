@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with one ``except`` clause while
+still being able to discriminate failure domains.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class WindowError(ReproError):
+    """Illegal access to an RMA window (bounds, wrong dtype, bad rank)."""
+
+
+class EpochError(ReproError):
+    """RMA epoch misuse (access outside lock_all/unlock_all, double lock)."""
+
+
+class CommError(ReproError):
+    """Point-to-point or collective communication misuse (e.g. deadlock)."""
+
+
+class CacheError(ReproError):
+    """CLaMPI cache misuse or internal invariant violation."""
+
+
+class AllocationError(CacheError):
+    """The cache memory buffer could not satisfy an allocation request."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning error (vertex out of range, empty partition...)."""
+
+
+class GraphFormatError(ReproError):
+    """Malformed graph input (unsorted adjacency, duplicate edges...)."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event engine invariant violation (time going backwards...)."""

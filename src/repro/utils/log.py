@@ -1,0 +1,42 @@
+"""Lightweight logging facade.
+
+The library logs under the ``repro`` namespace; experiments pass
+``verbose=True`` to bump the level.  We never call ``basicConfig`` at import
+time so that embedding applications keep control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro.`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_verbose(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the root ``repro`` logger (idempotent)."""
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+
+
+@contextmanager
+def timed(logger: logging.Logger, label: str) -> Iterator[None]:
+    """Log wall-clock duration of a block at DEBUG level."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        logger.debug("%s took %.3f s", label, time.perf_counter() - start)

@@ -1,0 +1,62 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (graph generators, random
+relabeling, workload shuffling) receives an explicit ``numpy.random
+.Generator``.  Determinism is a hard requirement: the whole experimental
+harness must produce bit-identical results for a given seed so that
+paper-reproduction tables are stable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Seed used by the experiment harness when the user does not supply one.
+DEFAULT_SEED: int = 0xC1A0
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``Generator`` from a seed, passing generators through.
+
+    Accepting an already-constructed generator lets internal helpers thread
+    a single RNG through a pipeline without re-seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent child generators.
+
+    Used to give each simulated rank its own RNG stream so per-rank behaviour
+    does not depend on rank execution order.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    ss = np.random.SeedSequence(DEFAULT_SEED if seed is None else seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]
+
+
+def derive_seed(seed: int | None, *labels: str | int) -> int:
+    """Derive a stable sub-seed from a base seed and a label path.
+
+    This keeps experiments independent: changing the seed usage in one
+    experiment does not perturb the random stream of another.
+
+    >>> derive_seed(1, "fig9", "orkut", 4) == derive_seed(1, "fig9", "orkut", 4)
+    True
+    >>> derive_seed(1, "fig9") != derive_seed(1, "fig10")
+    True
+    """
+    base = DEFAULT_SEED if seed is None else int(seed)
+    mask = (1 << 64) - 1
+    h = (base * 0x9E3779B97F4A7C15) & mask
+    for label in labels:
+        for byte in str(label).encode():
+            h = ((h ^ byte) * 0x100000001B3) & mask
+    return h % (1 << 63)

@@ -1,0 +1,42 @@
+"""Smoke tests: every experiment runs in fast mode and keeps its shape
+promises."""
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_fast_mode(name):
+    module = ALL_EXPERIMENTS[name]
+    tables = module.run(fast=True)
+    assert tables, f"{name} produced no tables"
+    for table in tables:
+        rendered = table.render()
+        assert rendered
+        md = table.render_markdown()
+        assert md.count("|") >= 2 or table.title == ""
+
+
+def test_runner_cli(tmp_path, capsys):
+    from repro.analysis.runner import main
+
+    out = tmp_path / "results.txt"
+    assert main(["--exp", "table2", "--fast", "-o", str(out)]) == 0
+    content = out.read_text()
+    assert "Table II" in content
+
+
+def test_runner_requires_selection():
+    from repro.analysis.runner import main
+
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_runner_markdown(capsys):
+    from repro.analysis.runner import main
+
+    assert main(["--exp", "fig1", "--fast", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "|" in out

@@ -1,0 +1,67 @@
+"""Robustness: the paper's conclusions hold across network models.
+
+The cost-model calibration targets Cray Aries; these tests check that the
+qualitative claims (caching helps, async beats TriC, scaling positive) do
+not hinge on that specific operating point by re-running the key
+comparisons under InfiniBand-like and Ethernet-like models.
+"""
+
+import pytest
+
+from repro.baselines.tric import TricConfig, run_tric
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.graph.datasets import load_dataset
+from repro.runtime.network import NetworkModel
+
+NETWORKS = {
+    "aries": NetworkModel.aries(),
+    "infiniband": NetworkModel.infiniband(),
+    "ethernet": NetworkModel.ethernet(),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("rmat-s21-ef16", scale=0.5, seed=0)
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+def test_caching_helps_on_every_network(graph, net_name):
+    net = NETWORKS[net_name]
+    cfg = LCCConfig(nranks=8, threads=12, network=net)
+    plain = run_distributed_lcc(graph, cfg)
+    cached = run_distributed_lcc(graph, cfg.replace(
+        cache=CacheSpec.paper_split(2 * graph.nbytes, graph.n)))
+    assert cached.time < plain.time, f"caching lost on {net_name}"
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+def test_async_beats_tric_on_every_network(graph, net_name):
+    net = NETWORKS[net_name]
+    a = run_distributed_lcc(graph, LCCConfig(nranks=16, threads=12,
+                                             network=net))
+    t = run_tric(graph, TricConfig(nranks=16, network=net))
+    assert a.time < t.time, f"TriC won on {net_name}"
+
+
+@pytest.mark.parametrize("net_name", sorted(NETWORKS))
+def test_scaling_positive_on_every_network(graph, net_name):
+    net = NETWORKS[net_name]
+    t4 = run_distributed_lcc(graph, LCCConfig(nranks=4, threads=12,
+                                              network=net)).time
+    t32 = run_distributed_lcc(graph, LCCConfig(nranks=32, threads=12,
+                                               network=net)).time
+    assert t32 < t4, f"no strong scaling on {net_name}"
+
+
+def test_slower_network_amplifies_cache_value(graph):
+    # On a high-latency network, avoided gets are worth more.
+    gains = {}
+    for name in ("aries", "ethernet"):
+        cfg = LCCConfig(nranks=8, threads=12, network=NETWORKS[name])
+        plain = run_distributed_lcc(graph, cfg)
+        cached = run_distributed_lcc(graph, cfg.replace(
+            cache=CacheSpec.paper_split(2 * graph.nbytes, graph.n)))
+        gains[name] = 1 - cached.time / plain.time
+    assert gains["ethernet"] > gains["aries"]

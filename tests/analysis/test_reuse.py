@@ -1,0 +1,105 @@
+"""Tests for the reuse analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import (
+    expected_reads_per_vertex,
+    remote_edge_fraction,
+    remote_read_counts,
+    repetition_histogram,
+    reuse_curve,
+    top_degree_read_share,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi, rmat, star_graph
+from repro.graph.partition import BlockPartition1D, CyclicPartition1D
+
+
+class TestRemoteReadCounts:
+    def test_counts_by_hand(self):
+        # 0-1 local to rank 0 (n=4, p=2: {0,1} vs {2,3}); 1-2 crosses.
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        counts = remote_read_counts(g, 2)
+        # Edge (1,2): rank0 reads 2, rank1 reads 1 (both directions stored).
+        np.testing.assert_array_equal(counts, [0, 1, 1, 0])
+
+    def test_initiator_filter(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        counts0 = remote_read_counts(g, 2, initiator=0)
+        np.testing.assert_array_equal(counts0, [0, 0, 1, 0])
+
+    def test_sum_matches_cut_edges(self):
+        g = rmat(7, 8, seed=1)
+        part = BlockPartition1D(g.n, 4)
+        edges = g.edges()
+        cut = (part.owners(edges[:, 0]) != part.owners(edges[:, 1])).sum()
+        assert remote_read_counts(g, 4).sum() == cut
+
+    def test_single_rank_no_remote(self):
+        g = rmat(6, 4, seed=1)
+        assert remote_read_counts(g, 1).sum() == 0
+
+    def test_custom_partition(self):
+        g = rmat(7, 8, seed=1)
+        cyc = remote_read_counts(g, 4, partition=CyclicPartition1D(g.n, 4))
+        blk = remote_read_counts(g, 4)
+        assert cyc.sum() != blk.sum() or not np.array_equal(cyc, blk)
+
+
+class TestHistogramAndCurve:
+    def test_histogram_total(self):
+        g = rmat(7, 8, seed=1)
+        reps, freq = repetition_histogram(g, 4, initiator=0)
+        counts = remote_read_counts(g, 4, initiator=0)
+        assert (reps * freq).sum() == counts.sum()
+        assert freq.sum() == (counts > 0).sum()
+
+    def test_curve_monotone(self):
+        g = rmat(8, 8, seed=1)
+        frac, cum = reuse_curve(g, 8)
+        assert np.all(np.diff(cum) >= -1e-12)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_empty_graph_curve(self):
+        g = CSRGraph.from_edges([], n=4)
+        frac, cum = reuse_curve(g, 2)
+        assert cum[-1] == 0.0
+
+
+class TestShares:
+    def test_star_concentration(self):
+        # Half of all remote reads target the hub (the leaves' reads);
+        # the other half are the hub reading its remote leaves once each.
+        g = star_graph(63)  # n=64, p=2: hub on rank 0
+        share = top_degree_read_share(g, 2, 0.05)
+        assert share >= 0.5
+
+    def test_uniform_low_concentration(self):
+        g = erdos_renyi(1024, 8192, seed=3)
+        assert top_degree_read_share(g, 8, 0.1) < 0.3
+
+
+class TestFractionsAndExpectation:
+    def test_remote_fraction_grows_with_ranks(self):
+        g = rmat(8, 8, seed=1)
+        fr = [remote_edge_fraction(g, p) for p in (2, 4, 8, 16)]
+        assert fr == sorted(fr)
+
+    def test_complete_graph_fraction(self):
+        g = complete_graph(8)
+        # p=2, each side 4 vertices: remote directed edges = 2*4*4 of 56.
+        assert remote_edge_fraction(g, 2) == pytest.approx(32 / 56)
+
+    def test_expected_reads_formula(self):
+        g = complete_graph(8)
+        expected = expected_reads_per_vertex(g, 4)
+        np.testing.assert_allclose(expected, 7 * 3 / 4)
+
+    def test_expectation_tracks_actual(self):
+        # On a relabeled graph the analytic expectation approximates the
+        # actual block-partition counts in aggregate.
+        g = rmat(9, 8, seed=2)
+        actual = remote_read_counts(g, 8).sum()
+        predicted = expected_reads_per_vertex(g, 8).sum()
+        assert actual == pytest.approx(predicted, rel=0.25)

@@ -1,0 +1,17 @@
+"""The reproduction self-check must pass in full."""
+
+import pytest
+
+from repro.analysis import verify
+
+
+@pytest.mark.parametrize("check", verify.CHECKS, ids=lambda c: c.name)
+def test_claim_holds(check):
+    assert check.fn(), f"claim failed: {check.claim}"
+
+
+def test_main_reports_success(capsys):
+    assert verify.main([]) == 0
+    out = capsys.readouterr().out
+    assert "FAIL" not in out
+    assert f"{len(verify.CHECKS)}/{len(verify.CHECKS)} claims hold" in out

@@ -1,0 +1,60 @@
+"""Tests for the MapReduce wedge-check baseline."""
+
+import pytest
+
+from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
+from repro.core.config import LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import triangle_count_local
+from repro.graph.csr import CSRGraph, relabel_random
+from repro.graph.generators import powerlaw_configuration, rmat
+from repro.utils.errors import ConfigError
+
+from tests.helpers import make_graph_suite
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_matches_local(self, nranks):
+        g = rmat(7, 8, seed=8)
+        res = run_mapreduce_tc(g, MapReduceConfig(nranks=nranks))
+        assert res.global_triangles == triangle_count_local(g)
+
+    @pytest.mark.parametrize("idx", range(6))
+    def test_all_graphs(self, idx):
+        g = make_graph_suite()[idx]
+        res = run_mapreduce_tc(g, MapReduceConfig(nranks=4))
+        assert res.global_triangles == triangle_count_local(g)
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ConfigError):
+            run_mapreduce_tc(g)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            MapReduceConfig(nranks=0)
+
+
+class TestVolume:
+    def test_shuffle_volume_quadratic_in_wedges(self):
+        # Shuffle bytes ~ 16 B per wedge emitted to a remote owner.
+        g = rmat(7, 8, seed=8)
+        res = run_mapreduce_tc(g, MapReduceConfig(nranks=4))
+        deg = g.degrees()
+        total_wedges = int((deg * (deg - 1) // 2).sum())
+        assert 0 < res.shuffle_bytes <= 16 * total_wedges
+
+    def test_async_beats_mapreduce_on_scale_free(self):
+        # The shuffle volume (quadratic in hub degree) sinks MapReduce.
+        g = relabel_random(
+            powerlaw_configuration(1024, 8192, seed=8, gamma=1.9,
+                                   max_degree=256), seed=1)
+        mr = run_mapreduce_tc(g, MapReduceConfig(nranks=16))
+        a = run_distributed_lcc(g, LCCConfig(nranks=16, threads=12))
+        assert a.time < mr.time
+
+    def test_synchronization_present(self):
+        g = rmat(7, 8, seed=8)
+        res = run_mapreduce_tc(g, MapReduceConfig(nranks=4))
+        assert res.outcome.total("n_alltoallv") == 4

@@ -1,0 +1,120 @@
+"""Tests for the AVL tree."""
+
+import numpy as np
+import pytest
+
+from repro.clampi.avl import AVLTree
+
+
+class TestBasicOps:
+    def test_empty(self):
+        t = AVLTree()
+        assert len(t) == 0
+        assert not t
+        assert t.min() is None
+        assert t.max() is None
+        assert t.ceiling(0) is None
+        assert t.floor(0) is None
+        assert list(t) == []
+
+    def test_insert_and_contains(self):
+        t = AVLTree()
+        for k in [5, 3, 8, 1, 4]:
+            t.insert(k)
+        assert len(t) == 5
+        assert 3 in t and 8 in t
+        assert 7 not in t
+
+    def test_duplicate_insert_rejected(self):
+        t = AVLTree()
+        t.insert(5)
+        with pytest.raises(KeyError):
+            t.insert(5)
+
+    def test_remove(self):
+        t = AVLTree()
+        for k in range(10):
+            t.insert(k)
+        t.remove(5)
+        assert 5 not in t
+        assert len(t) == 9
+        t.check_invariants()
+
+    def test_remove_missing_rejected(self):
+        t = AVLTree()
+        t.insert(1)
+        with pytest.raises(KeyError):
+            t.remove(2)
+
+    def test_inorder_iteration_sorted(self):
+        t = AVLTree()
+        keys = [9, 2, 7, 4, 1, 8, 3]
+        for k in keys:
+            t.insert(k)
+        assert list(t) == sorted(keys)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.t = AVLTree()
+        for k in [10, 20, 30, 40]:
+            self.t.insert(k)
+
+    def test_ceiling(self):
+        assert self.t.ceiling(15) == 20
+        assert self.t.ceiling(20) == 20
+        assert self.t.ceiling(41) is None
+        assert self.t.ceiling(-5) == 10
+
+    def test_floor(self):
+        assert self.t.floor(15) == 10
+        assert self.t.floor(20) == 20
+        assert self.t.floor(5) is None
+        assert self.t.floor(100) == 40
+
+    def test_min_max(self):
+        assert self.t.min() == 10
+        assert self.t.max() == 40
+
+    def test_tuple_keys(self):
+        t = AVLTree()
+        t.insert((10, 3))
+        t.insert((10, 1))
+        t.insert((5, 9))
+        assert t.ceiling((10, -1)) == (10, 1)
+        assert t.min() == (5, 9)
+
+
+class TestBalance:
+    def test_sequential_insert_stays_balanced(self):
+        t = AVLTree()
+        for k in range(1000):
+            t.insert(k)
+        t.check_invariants()
+        # Height must be O(log n): for 1000 AVL nodes <= 1.44*log2(1001) ~ 14.
+        assert t._root.height <= 15
+
+    def test_random_churn_keeps_invariants(self):
+        rng = np.random.default_rng(5)
+        t = AVLTree()
+        present = set()
+        for _ in range(2000):
+            k = int(rng.integers(0, 300))
+            if k in present:
+                t.remove(k)
+                present.discard(k)
+            else:
+                t.insert(k)
+                present.add(k)
+        t.check_invariants()
+        assert list(t) == sorted(present)
+
+    def test_remove_all(self):
+        t = AVLTree()
+        keys = list(range(100))
+        for k in keys:
+            t.insert(k)
+        for k in keys[::-1]:
+            t.remove(k)
+        assert len(t) == 0
+        t.check_invariants()

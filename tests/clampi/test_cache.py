@@ -1,0 +1,186 @@
+"""Tests for the CLaMPI cache proper."""
+
+import numpy as np
+import pytest
+
+from repro.clampi.cache import ClampiCache, ClampiConfig, ConsistencyMode
+from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy, LRUScorePolicy
+from repro.runtime.network import MemoryModel, NetworkModel
+from repro.runtime.window import Window
+from repro.utils.errors import CacheError
+
+
+def make_window(n=256):
+    return Window("adj", [np.arange(n, dtype=np.int64),
+                          np.arange(1000, 1000 + n, dtype=np.int64)])
+
+
+def make_cache(capacity=4096, nslots=64, window=None, **kw):
+    win = window or make_window()
+    win.lock_all(0)
+    cfg = ClampiConfig(capacity_bytes=capacity, nslots=nslots, **kw)
+    return ClampiCache(win, 0, cfg), win
+
+
+class TestHitMiss:
+    def test_first_access_is_compulsory_miss(self):
+        cache, _ = make_cache()
+        data, dt, hit = cache.access(1, 0, 4)
+        np.testing.assert_array_equal(data, [1000, 1001, 1002, 1003])
+        assert not hit
+        assert cache.stats.misses == 1
+        assert cache.stats.compulsory_misses == 1
+
+    def test_repeat_access_hits(self):
+        cache, _ = make_cache()
+        cache.access(1, 0, 4)
+        data, dt_hit, hit = cache.access(1, 0, 4)
+        assert hit
+        np.testing.assert_array_equal(data, [1000, 1001, 1002, 1003])
+        assert cache.stats.hits == 1
+
+    def test_hit_is_much_cheaper_than_miss(self):
+        cache, _ = make_cache()
+        _, dt_miss, _ = cache.access(1, 0, 16)
+        _, dt_hit, _ = cache.access(1, 0, 16)
+        assert dt_hit * 10 < dt_miss
+
+    def test_exact_match_semantics(self):
+        # A different (offset, count) is a different entry, as in CLaMPI.
+        cache, _ = make_cache()
+        cache.access(1, 0, 8)
+        _, _, hit = cache.access(1, 0, 4)
+        assert not hit
+
+    def test_served_data_identical_to_window(self):
+        cache, win = make_cache()
+        for _ in range(3):
+            data, _, _ = cache.access(1, 5, 7)
+            np.testing.assert_array_equal(data, win.local_part(1)[5:12])
+
+    def test_miss_after_flush_not_compulsory(self):
+        cache, _ = make_cache()
+        cache.access(1, 0, 4)
+        cache.flush()
+        _, _, hit = cache.access(1, 0, 4)
+        assert not hit
+        assert cache.stats.misses == 2
+        assert cache.stats.compulsory_misses == 1
+
+
+class TestEviction:
+    def test_capacity_eviction_under_pressure(self):
+        # 8-byte items; capacity 10 entries of 4 elements = 32B each.
+        cache, _ = make_cache(capacity=320, nslots=256)
+        for off in range(0, 80, 4):
+            cache.access(1, off, 4)
+        assert cache.stats.capacity_evictions > 0
+        cache.check_invariants()
+        assert cache.used_bytes <= 320
+
+    def test_lru_evicts_oldest(self):
+        cache, _ = make_cache(capacity=64, nslots=64,
+                              score_policy=LRUScorePolicy(),
+                              eviction_sample=1000)
+        cache.access(1, 0, 4)    # 32 B
+        cache.access(1, 4, 4)    # 32 B -> full
+        cache.access(1, 0, 4)    # refresh entry 0
+        cache.access(1, 8, 4)    # must evict offset-4 entry (older)
+        _, _, hit0 = cache.access(1, 0, 4)
+        assert hit0
+        _, _, hit4 = cache.access(1, 4, 4)
+        assert not hit4
+
+    def test_oversized_entry_not_cached(self):
+        cache, _ = make_cache(capacity=16)
+        cache.access(1, 0, 100)  # 800 B > 16 B capacity
+        assert cache.stats.insert_failures == 1
+        assert len(cache) == 0
+
+    def test_app_score_protects_high_degree(self):
+        # Low-score newcomers must not evict a high-score resident.
+        win = make_window(512)
+        win.lock_all(0)
+        cfg = ClampiConfig(
+            capacity_bytes=400, nslots=256,
+            score_policy=AppScorePolicy(),
+            app_score_fn=lambda t, o, c, d: float(c),  # score = entry length
+            eviction_sample=1000,
+        )
+        cache = ClampiCache(win, 0, cfg)
+        cache.access(1, 0, 40)   # 320 B, score 40 -> resident hero
+        for off in range(40, 80, 2):
+            cache.access(1, off, 2)   # small, low-score entries
+        _, _, hit = cache.access(1, 0, 40)
+        assert hit, "high-score entry was evicted by low-score newcomers"
+        # Pressure was real: the low-score entries churned among themselves.
+        assert cache.stats.capacity_evictions > 0
+        for e in cache.entries():
+            assert e.key == (1, 0, 40) or e.nbytes == 16
+
+    def test_default_policy_allows_eviction(self):
+        cache, _ = make_cache(capacity=64, nslots=256, eviction_sample=1000)
+        cache.access(1, 0, 8)   # fills cache (64 B)
+        cache.access(1, 8, 8)   # must evict
+        assert cache.stats.capacity_evictions == 1
+
+
+class TestModes:
+    def test_transparent_flushes_on_epoch_close(self):
+        cache, _ = make_cache(mode=ConsistencyMode.TRANSPARENT)
+        cache.access(1, 0, 4)
+        cache.on_epoch_close()
+        assert len(cache) == 0
+        assert cache.stats.flushes == 1
+
+    def test_always_cache_survives_epoch_close(self):
+        cache, _ = make_cache(mode=ConsistencyMode.ALWAYS_CACHE)
+        cache.access(1, 0, 4)
+        cache.on_epoch_close()
+        assert len(cache) == 1
+
+    def test_user_defined_flushes_only_manually(self):
+        cache, _ = make_cache(mode=ConsistencyMode.USER_DEFINED)
+        cache.access(1, 0, 4)
+        cache.on_epoch_close()
+        assert len(cache) == 1
+        cache.flush()
+        assert len(cache) == 0
+
+
+class TestConfigValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(CacheError):
+            ClampiConfig(capacity_bytes=0)
+
+    def test_bad_nslots(self):
+        with pytest.raises(CacheError):
+            ClampiConfig(capacity_bytes=10, nslots=0)
+
+    def test_app_policy_requires_score_fn(self):
+        with pytest.raises(CacheError):
+            ClampiConfig(capacity_bytes=10, score_policy=AppScorePolicy())
+
+
+class TestResize:
+    def test_resize_flushes(self):
+        cache, _ = make_cache()
+        cache.access(1, 0, 4)
+        cache.resize(nslots=128)
+        assert len(cache) == 0
+        assert cache.stats.adaptive_resizes == 1
+        assert cache.config.nslots == 128
+        # Still works after resize.
+        _, _, hit = cache.access(1, 0, 4)
+        assert not hit
+        _, _, hit = cache.access(1, 0, 4)
+        assert hit
+
+    def test_invariants_after_heavy_use(self):
+        rng = np.random.default_rng(3)
+        cache, _ = make_cache(capacity=512, nslots=16)
+        for _ in range(500):
+            off = int(rng.integers(0, 60))
+            cnt = int(rng.integers(1, 12))
+            cache.access(1, min(off, 255 - cnt), cnt)
+        cache.check_invariants()

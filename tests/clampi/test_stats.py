@@ -1,0 +1,41 @@
+"""Tests for cache statistics."""
+
+import pytest
+
+from repro.clampi.stats import CacheStats
+
+
+class TestRates:
+    def test_empty_stats(self):
+        s = CacheStats()
+        assert s.hit_rate == 0.0
+        assert s.miss_rate == 0.0
+        assert s.compulsory_miss_rate == 0.0
+        assert s.accesses == 0
+
+    def test_rates(self):
+        s = CacheStats(hits=30, misses=70, compulsory_misses=20)
+        assert s.accesses == 100
+        assert s.hit_rate == pytest.approx(0.3)
+        assert s.miss_rate == pytest.approx(0.7)
+        assert s.compulsory_miss_rate == pytest.approx(0.2)
+        assert s.avoidable_miss_rate == pytest.approx(0.5)
+
+    def test_evictions_total(self):
+        s = CacheStats(capacity_evictions=3, conflict_evictions=4)
+        assert s.evictions == 7
+
+    def test_snapshot_keys(self):
+        snap = CacheStats(hits=1, misses=1).snapshot()
+        for key in ("hits", "misses", "hit_rate", "compulsory_miss_rate",
+                    "mgmt_time", "bytes_fetched"):
+            assert key in snap
+
+    def test_merge(self):
+        a = CacheStats(hits=1, misses=2, compulsory_misses=1, mgmt_time=0.5)
+        b = CacheStats(hits=3, misses=4, compulsory_misses=2, mgmt_time=0.25)
+        a.merge(b)
+        assert a.hits == 4
+        assert a.misses == 6
+        assert a.compulsory_misses == 3
+        assert a.mgmt_time == pytest.approx(0.75)

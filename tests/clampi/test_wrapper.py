@@ -1,0 +1,90 @@
+"""Tests for the cache-attachment helpers and sizing heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy
+from repro.clampi.wrapper import (
+    adjacency_hash_slots,
+    attach_adjacency_caches,
+    attach_offset_caches,
+    degree_app_score,
+    offsets_hash_slots,
+)
+from repro.runtime.engine import Engine
+from repro.runtime.window import Window
+
+
+class TestSizingHeuristics:
+    def test_offsets_slots_one_per_entry(self):
+        assert offsets_hash_slots(16 * 1000, 16) == 1000
+
+    def test_offsets_slots_floor(self):
+        assert offsets_hash_slots(16, 16) == 64  # never below the minimum
+
+    def test_adjacency_slots_power_law(self):
+        n = 100_000
+        full = adjacency_hash_slots(1000, 1000, n)        # cache == graph
+        half = adjacency_hash_slots(500, 1000, n)         # half the graph
+        assert full == n
+        assert half == pytest.approx(n * 0.25, rel=0.01)  # 0.5**2
+
+    def test_adjacency_slots_clamped_to_one(self):
+        n = 1000
+        # Cache bigger than the graph: relative size clamps at 1.
+        assert adjacency_hash_slots(5000, 1000, n) == n
+
+    def test_degree_app_score_is_length(self):
+        data = np.arange(17)
+        assert degree_app_score(1, 0, 17, data) == 17.0
+
+
+class TestAttachment:
+    def make_engine_window(self):
+        eng = Engine(2)
+        win = eng.windows.add(Window(
+            "adjacencies",
+            [np.arange(64, dtype=np.int32), np.arange(64, dtype=np.int32)],
+        ))
+        win.lock_all(0)
+        win.lock_all(1)
+        return eng, win
+
+    def test_attach_adjacency_creates_per_rank_caches(self):
+        eng, win = self.make_engine_window()
+        caches = attach_adjacency_caches(eng.contexts, win, 1024)
+        assert len(caches) == 2
+        for ctx, cache in zip(eng.contexts, caches):
+            assert ctx.cache_for(win) is cache
+            assert cache.rank == ctx.rank
+
+    def test_attached_cache_intercepts_gets(self):
+        eng, win = self.make_engine_window()
+        caches = attach_adjacency_caches(eng.contexts, win, 1024)
+        eng.contexts[0].get(win, 1, 0, 8)
+        eng.contexts[0].get(win, 1, 0, 8)
+        assert caches[0].stats.hits == 1
+        assert caches[0].stats.misses == 1
+        # Rank 1's cache untouched.
+        assert caches[1].stats.accesses == 0
+
+    def test_degree_policy_gets_default_score_fn(self):
+        eng, win = self.make_engine_window()
+        caches = attach_adjacency_caches(
+            eng.contexts, win, 1024, score_policy=AppScorePolicy())
+        eng.contexts[0].get(win, 1, 0, 8)
+        (entry,) = caches[0].entries()
+        assert entry.app_score == 8.0
+
+    def test_attach_offsets(self):
+        eng = Engine(2)
+        win = eng.windows.add(Window(
+            "offsets",
+            [np.arange(10, dtype=np.int64), np.arange(10, dtype=np.int64)],
+        ))
+        win.lock_all(0)
+        win.lock_all(1)
+        caches = attach_offset_caches(eng.contexts, win, 320)
+        assert len(caches) == 2
+        eng.contexts[1].get(win, 0, 2, 2)
+        assert caches[1].stats.misses == 1

@@ -1,0 +1,125 @@
+"""Tests for the distributed asynchronous LCC (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import compute_lcc
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local, triangle_count_local
+from repro.graph.generators import powerlaw_configuration, rmat
+
+from tests.helpers import make_graph_suite
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_matches_local_any_rank_count(self, nranks):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=nranks))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+
+    @pytest.mark.parametrize("idx", range(6))
+    def test_matches_local_all_graphs(self, idx):
+        g = make_graph_suite()[idx]
+        res = run_distributed_lcc(g, LCCConfig(nranks=4))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+
+    @pytest.mark.parametrize("method", ["ssi", "binary", "hybrid"])
+    def test_all_methods_agree(self, method):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4, method=method))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+
+    @pytest.mark.parametrize("partition", ["block", "cyclic"])
+    def test_partitions_agree(self, partition):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4, partition=partition))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+
+    def test_overlap_does_not_change_results(self):
+        g = rmat(7, 8, seed=3)
+        a = run_distributed_lcc(g, LCCConfig(nranks=4, overlap=True))
+        b = run_distributed_lcc(g, LCCConfig(nranks=4, overlap=False))
+        np.testing.assert_array_equal(a.lcc, b.lcc)
+        np.testing.assert_array_equal(a.triangles_per_vertex,
+                                      b.triangles_per_vertex)
+
+    def test_cached_identical_to_uncached(self):
+        g = powerlaw_configuration(256, 2048, seed=5)
+        cfg = LCCConfig(nranks=4)
+        plain = run_distributed_lcc(g, cfg)
+        for score in ("default", "degree", "lru"):
+            cached = run_distributed_lcc(g, cfg.replace(
+                cache=CacheSpec.paper_split(1 << 18, g.n, score=score)))
+            np.testing.assert_array_equal(plain.lcc, cached.lcc)
+
+    def test_global_triangles_from_triplets(self):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4))
+        assert res.global_triangles == triangle_count_local(g)
+
+    def test_directed_graph(self):
+        g = powerlaw_configuration(128, 700, seed=5, directed=True)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+
+
+class TestTiming:
+    def test_overlap_is_never_slower(self):
+        g = rmat(7, 8, seed=3)
+        a = run_distributed_lcc(g, LCCConfig(nranks=4, overlap=True))
+        b = run_distributed_lcc(g, LCCConfig(nranks=4, overlap=False))
+        assert a.time <= b.time
+
+    def test_more_ranks_less_time(self):
+        g = rmat(8, 8, seed=3)
+        t4 = run_distributed_lcc(g, LCCConfig(nranks=4)).time
+        t16 = run_distributed_lcc(g, LCCConfig(nranks=16)).time
+        assert t16 < t4
+
+    def test_caching_reduces_comm_time(self):
+        g = powerlaw_configuration(512, 4096, seed=5)
+        cfg = LCCConfig(nranks=4)
+        plain = run_distributed_lcc(g, cfg)
+        cached = run_distributed_lcc(g, cfg.replace(
+            cache=CacheSpec.paper_split(1 << 20, g.n)))
+        assert cached.comm_time < plain.comm_time
+        assert cached.adj_cache_stats["hit_rate"] > 0.3
+
+    def test_remote_fraction_grows_with_ranks(self):
+        g = rmat(8, 8, seed=3)
+        f4 = run_distributed_lcc(g, LCCConfig(nranks=4)).outcome.summary()[
+            "remote_fraction"]
+        f16 = run_distributed_lcc(g, LCCConfig(nranks=16)).outcome.summary()[
+            "remote_fraction"]
+        assert f16 > f4
+
+    def test_single_rank_no_comm(self):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=1))
+        assert res.outcome.total("n_remote_gets") == 0
+        assert res.comm_time == 0.0
+
+
+class TestDeterminism:
+    def test_bitwise_reproducible(self):
+        g = rmat(7, 8, seed=3)
+        cfg = LCCConfig(nranks=4, cache=CacheSpec.paper_split(1 << 16, g.n))
+        a = run_distributed_lcc(g, cfg)
+        b = run_distributed_lcc(g, cfg)
+        assert a.time == b.time
+        np.testing.assert_array_equal(a.lcc, b.lcc)
+        assert a.adj_cache_stats == b.adj_cache_stats
+
+
+class TestApi:
+    def test_compute_lcc_local_path(self):
+        g = rmat(7, 8, seed=3)
+        scores = compute_lcc(g)
+        np.testing.assert_allclose(scores, lcc_local(g))
+
+    def test_compute_lcc_distributed_path(self):
+        g = rmat(7, 8, seed=3)
+        res = compute_lcc(g, LCCConfig(nranks=2))
+        np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)

@@ -1,0 +1,103 @@
+"""Pin the vectorized fast path to the per-edge loop implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.lcc_fast import run_distributed_lcc_fast
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    powerlaw_configuration,
+    rmat,
+)
+
+GRAPHS = [
+    complete_graph(9),
+    rmat(7, 8, seed=3),
+    erdos_renyi(96, 700, seed=3),
+    powerlaw_configuration(128, 900, seed=3),
+    powerlaw_configuration(64, 300, seed=3, directed=True),
+]
+
+
+def loop_config(**kw):
+    return LCCConfig(fast_path=False, **kw)
+
+
+def fast_config(**kw):
+    return LCCConfig(fast_path=True, **kw)
+
+
+class TestFastMatchesLoop:
+    @pytest.mark.parametrize("gi", range(len(GRAPHS)))
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_clocks_and_traces(self, gi, overlap):
+        g = GRAPHS[gi]
+        kw = dict(nranks=4, threads=12, overlap=overlap)
+        loop = run_distributed_lcc(g, loop_config(**kw))
+        fast = run_distributed_lcc_fast(g, fast_config(**kw))
+        assert fast.time == pytest.approx(loop.time, rel=1e-9)
+        np.testing.assert_allclose(fast.outcome.clocks, loop.outcome.clocks,
+                                   rtol=1e-9)
+        for ft, lt in zip(fast.outcome.traces, loop.outcome.traces):
+            assert ft.n_remote_gets == lt.n_remote_gets
+            assert ft.n_local_reads == lt.n_local_reads
+            assert ft.bytes_remote == lt.bytes_remote
+            assert ft.bytes_local == lt.bytes_local
+            assert ft.comm_time == pytest.approx(lt.comm_time, rel=1e-9)
+            assert ft.comp_time == pytest.approx(lt.comp_time, rel=1e-9)
+
+    @pytest.mark.parametrize("gi", range(len(GRAPHS)))
+    def test_scores_identical(self, gi):
+        g = GRAPHS[gi]
+        loop = run_distributed_lcc(g, loop_config(nranks=4))
+        fast = run_distributed_lcc_fast(g, fast_config(nranks=4))
+        np.testing.assert_array_equal(fast.lcc, loop.lcc)
+        np.testing.assert_array_equal(fast.triangles_per_vertex,
+                                      loop.triangles_per_vertex)
+        assert fast.global_triangles == loop.global_triangles
+
+    @pytest.mark.parametrize("partition", ["block", "cyclic"])
+    @pytest.mark.parametrize("method", ["ssi", "binary", "hybrid"])
+    def test_all_configs(self, partition, method):
+        g = rmat(7, 8, seed=3)
+        kw = dict(nranks=8, threads=4, partition=partition, method=method)
+        loop = run_distributed_lcc(g, loop_config(**kw))
+        fast = run_distributed_lcc_fast(g, fast_config(**kw))
+        assert fast.time == pytest.approx(loop.time, rel=1e-9)
+
+    def test_single_rank(self):
+        g = rmat(6, 4, seed=3)
+        loop = run_distributed_lcc(g, loop_config(nranks=1))
+        fast = run_distributed_lcc_fast(g, fast_config(nranks=1))
+        assert fast.time == pytest.approx(loop.time, rel=1e-9)
+        assert fast.outcome.total("n_remote_gets") == 0
+
+    def test_more_ranks_than_vertices(self):
+        g = complete_graph(5)
+        loop = run_distributed_lcc(g, loop_config(nranks=8))
+        fast = run_distributed_lcc_fast(g, fast_config(nranks=8))
+        assert fast.time == pytest.approx(loop.time, rel=1e-9)
+
+
+class TestDispatch:
+    def test_default_takes_fast_path(self):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4))
+        # Fast-path outcomes carry the stashed clock attribute.
+        assert hasattr(res.outcome.traces[0], "_fast_clock")
+
+    def test_cache_forces_loop(self):
+        from repro.core.config import CacheSpec
+
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(
+            nranks=4, cache=CacheSpec.paper_split(1 << 16, g.n)))
+        assert not hasattr(res.outcome.traces[0], "_fast_clock")
+
+    def test_record_ops_forces_loop(self):
+        g = rmat(7, 8, seed=3)
+        res = run_distributed_lcc(g, LCCConfig(nranks=4, record_ops=True))
+        assert not hasattr(res.outcome.traces[0], "_fast_clock")

@@ -1,0 +1,106 @@
+"""Tests for the local reference implementations, cross-checked with
+networkx (an entirely independent implementation)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.local import (
+    lcc_from_triplets,
+    lcc_local,
+    triangle_count_local,
+    triangles_per_vertex_local,
+    triangles_per_vertex_matrix,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    powerlaw_configuration,
+    ring_of_cliques,
+    rmat,
+    star_graph,
+)
+
+from tests.helpers import make_graph_suite
+
+
+def to_nx(graph: CSRGraph) -> nx.Graph:
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(map(tuple, graph.edges()))
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("idx", range(6))
+    def test_triangle_count(self, idx):
+        g = make_graph_suite()[idx]
+        expected = sum(nx.triangles(to_nx(g)).values()) // 3
+        assert triangle_count_local(g) == expected
+
+    @pytest.mark.parametrize("idx", range(6))
+    def test_lcc(self, idx):
+        g = make_graph_suite()[idx]
+        expected = nx.clustering(to_nx(g))
+        ours = lcc_local(g)
+        for v in range(g.n):
+            assert ours[v] == pytest.approx(expected[v], abs=1e-12), f"v={v}"
+
+    def test_lcc_directed_transitivity(self):
+        # Directed Eq. 1: fraction of ordered neighbour pairs (j, k) of i's
+        # out-neighbourhood with edge j->k present.
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2)], directed=True)
+        scores = lcc_local(g)
+        # adj+(0) = {1, 2}; pairs (1,2),(2,1); only 1->2 exists: 1/2.
+        assert scores[0] == pytest.approx(0.5)
+        assert scores[1] == 0.0
+
+
+class TestPathsAgree:
+    @pytest.mark.parametrize("idx", range(6))
+    def test_matrix_equals_kernels(self, idx):
+        g = make_graph_suite()[idx]
+        np.testing.assert_array_equal(
+            triangles_per_vertex_matrix(g),
+            triangles_per_vertex_local(g, "hybrid"),
+        )
+
+    def test_all_kernel_methods_agree(self):
+        g = rmat(7, 8, seed=1)
+        ref = triangles_per_vertex_local(g, "ssi")
+        np.testing.assert_array_equal(ref, triangles_per_vertex_local(g, "binary"))
+        np.testing.assert_array_equal(ref, triangles_per_vertex_local(g, "hybrid"))
+
+
+class TestKnownValues:
+    def test_complete_graph(self):
+        g = complete_graph(7)
+        assert triangle_count_local(g) == 35
+        np.testing.assert_allclose(lcc_local(g), 1.0)
+
+    def test_star_graph(self):
+        g = star_graph(8)
+        assert triangle_count_local(g) == 0
+        np.testing.assert_allclose(lcc_local(g), 0.0)
+
+    def test_ring_of_cliques(self):
+        assert triangle_count_local(ring_of_cliques(6, 5)) == 60
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], n=4)
+        assert triangle_count_local(g) == 0
+        np.testing.assert_allclose(lcc_local(g), 0.0)
+
+    def test_lcc_from_triplets_degree_guard(self):
+        g = CSRGraph.from_edges([(0, 1)], n=3)
+        scores = lcc_from_triplets(g, np.zeros(3, dtype=np.int64))
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_directed_transitive_triads(self):
+        # Cycle 0->1->2->0 has no transitive triad; adding 0->2 creates one.
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        assert triangle_count_local(g) == 0
+        g2 = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)],
+                                 directed=True)
+        assert triangle_count_local(g2) == 1

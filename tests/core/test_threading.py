@@ -1,0 +1,78 @@
+"""Tests for the OpenMP cost model."""
+
+import pytest
+
+from repro.core.threading import OpenMPModel
+from repro.runtime.compute import ComputeModel
+
+
+class TestScaling:
+    def test_more_threads_never_slower_above_cutoff(self):
+        m1 = OpenMPModel(threads=1)
+        m16 = OpenMPModel(threads=16)
+        # Big lists parallelize well.
+        assert m16.ssi_time(5000, 5000) < m1.ssi_time(5000, 5000)
+        assert (m16.binary_search_time(3000, 50_000)
+                < m1.binary_search_time(3000, 50_000))
+
+    def test_speedup_saturates(self):
+        # The Figure 6 shape: 16 threads nowhere near 16x on typical edges.
+        m1 = OpenMPModel(threads=1)
+        m16 = OpenMPModel(threads=16)
+        speedup = m1.ssi_time(400, 400) / m16.ssi_time(400, 400)
+        assert 1.0 < speedup < 8.0
+
+    def test_small_lists_stay_sequential(self):
+        cm = ComputeModel()
+        m = OpenMPModel(threads=16, cutoff=128, compute=cm)
+        # Total length below the cut-off: identical to the sequential model.
+        assert m.ssi_time(20, 20) == cm.ssi_time(20, 20)
+
+    def test_region_overhead_hurts_small_parallel_work(self):
+        m = OpenMPModel(threads=16, cutoff=0)
+        cm = ComputeModel()
+        # Just above cutoff 0, parallel pays the region entry and can lose.
+        assert m.ssi_time(30, 30) > cm.ssi_time(30, 30) * 0.5
+
+
+class TestWaitPolicy:
+    def test_active_cheaper_than_passive(self):
+        a = OpenMPModel(threads=8, wait_policy="active")
+        p = OpenMPModel(threads=8, wait_policy="passive")
+        assert a.ssi_time(5000, 5000) < p.ssi_time(5000, 5000)
+
+    def test_improvement_is_percent_level(self):
+        # The paper measured 2-4% with OMP_WAIT_POLICY=active.
+        a = OpenMPModel(threads=16, wait_policy="active")
+        p = OpenMPModel(threads=16, wait_policy="passive")
+        ta, tp = a.ssi_time(800, 800), p.ssi_time(800, 800)
+        assert 0.0 < (tp - ta) / tp < 0.25
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            OpenMPModel(wait_policy="lazy")
+
+
+class TestDispatch:
+    def test_kernel_time_dispatch(self):
+        m = OpenMPModel(threads=4)
+        assert m.kernel_time("ssi", 10, 10) == m.ssi_time(10, 10)
+        assert m.kernel_time("binary", 10, 10) == m.binary_search_time(10, 10)
+        assert m.kernel_time("hybrid", 10, 10) == m.hybrid_time(10, 10)
+        with pytest.raises(ValueError):
+            m.kernel_time("nope", 1, 1)
+
+    def test_hybrid_picks_per_rule(self):
+        m = OpenMPModel(threads=4)
+        assert m.hybrid_time(500, 500) == m.ssi_time(500, 500)
+        assert m.hybrid_time(10, 100_000) == m.binary_search_time(10, 100_000)
+
+    def test_with_threads(self):
+        m = OpenMPModel(threads=1, cutoff=99)
+        m2 = m.with_threads(8)
+        assert m2.threads == 8
+        assert m2.cutoff == 99
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            OpenMPModel(threads=0)

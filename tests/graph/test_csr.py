@@ -1,0 +1,183 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import (
+    CSRGraph,
+    relabel_random,
+    remove_low_degree_vertices,
+)
+from repro.utils.errors import GraphFormatError
+
+
+class TestFromEdges:
+    def test_triangle(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.m == 3
+        assert not g.directed
+        np.testing.assert_array_equal(g.adj(0), [1, 2])
+        np.testing.assert_array_equal(g.adj(1), [0, 2])
+        np.testing.assert_array_equal(g.adj(2), [0, 1])
+
+    def test_undirected_symmetrizes(self):
+        g = CSRGraph.from_edges([(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.num_adjacency_entries == 2
+
+    def test_directed_keeps_direction(self):
+        g = CSRGraph.from_edges([(0, 1)], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.m == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges([(0, 0), (0, 1), (1, 1)])
+        assert g.m == 1
+        assert not g.has_edge(0, 0)
+
+    def test_duplicates_dropped(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 1), (1, 0)])
+        assert g.m == 1
+
+    def test_isolated_vertices_via_n(self):
+        g = CSRGraph.from_edges([(0, 1)], n=5)
+        assert g.n == 5
+        assert g.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], n=3)
+        assert g.n == 3
+        assert g.m == 0
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges([(0, 5)], n=3)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges([(-1, 2)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_edges(np.zeros((3, 3)))
+
+    def test_adjacency_sorted(self):
+        g = CSRGraph.from_edges([(0, 3), (0, 1), (0, 2)])
+        np.testing.assert_array_equal(g.adj(0), [1, 2, 3])
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        np.testing.assert_array_equal(g.degrees(), [3, 1, 1, 1])
+        assert g.degree(0) == 3
+
+    def test_in_degrees_directed(self):
+        g = CSRGraph.from_edges([(0, 2), (1, 2)], directed=True)
+        np.testing.assert_array_equal(g.in_degrees(), [0, 0, 2])
+
+    def test_in_degrees_undirected_equal_out(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        np.testing.assert_array_equal(g.in_degrees(), g.degrees())
+
+    def test_nbytes(self):
+        g = CSRGraph.from_edges([(0, 1)])
+        assert g.nbytes == (2 + 1) * 8 + 2 * 4
+
+    def test_edges_roundtrip(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        g = CSRGraph.from_edges(edges)
+        g2 = CSRGraph.from_edges(g.edges(), g.n)
+        np.testing.assert_array_equal(g.offsets, g2.offsets)
+        np.testing.assert_array_equal(g.adjacency, g2.adjacency)
+
+    def test_has_edge(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+
+class TestValidation:
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.int32))
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1], dtype=np.int32))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 5]), np.array([0, 1], dtype=np.int32))
+
+    def test_unsorted_adjacency_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2]), np.array([1, 0], dtype=np.int32),
+                     directed=True)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([0], dtype=np.int32),
+                     directed=True)
+
+    def test_symmetry_check(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)])
+        g.check_symmetric()  # must not raise
+
+
+class TestLowDegreeRemoval:
+    def test_leaves_removed(self):
+        # Path 0-1-2-3 plus triangle 3-4-5: leaves 0 and the path survive
+        # only where degree >= 2.
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
+        g2 = remove_low_degree_vertices(g)
+        # Vertices 0 and... vertex 0 has degree 1 -> dropped; 1 had degree 2.
+        assert g2.n == 5
+        assert g2.m == 5  # edge (0,1) gone
+
+    def test_noop_when_all_qualify(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert remove_low_degree_vertices(g) is g
+
+    def test_triangle_counts_preserved(self):
+        # Removal cannot destroy triangles (deg-1 vertices are in none).
+        from repro.core.local import triangle_count_local
+
+        g = CSRGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (4, 0)])  # 3, 4 are leaves
+        g2 = remove_low_degree_vertices(g)
+        assert triangle_count_local(g2) == triangle_count_local(g) == 1
+
+    def test_single_pass_not_iterative(self):
+        # Path 0-1-2-3-4: middle vertices have degree 2, endpoints 1.
+        # A single pass removes only the endpoints (paper semantics).
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        g2 = remove_low_degree_vertices(g)
+        assert g2.n == 3
+
+
+class TestRelabel:
+    def test_relabel_preserves_structure(self):
+        from repro.core.local import triangle_count_local
+
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        g2 = relabel_random(g, seed=3)
+        assert g2.n == g.n
+        assert g2.m == g.m
+        assert triangle_count_local(g2) == triangle_count_local(g)
+        np.testing.assert_array_equal(np.sort(g2.degrees()), np.sort(g.degrees()))
+
+    def test_relabel_directed(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], directed=True)
+        g2 = relabel_random(g, seed=3)
+        assert g2.m == 2
+        assert g2.directed
+
+    def test_relabel_deterministic(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (1, 3)])
+        a = relabel_random(g, seed=9)
+        b = relabel_random(g, seed=9)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)

@@ -1,0 +1,73 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASETS, dataset_names, load_dataset
+from repro.graph.properties import gini, is_power_law_like
+from repro.utils.errors import ConfigError
+
+
+class TestRegistry:
+    def test_all_table2_graphs_present(self):
+        for name in ("orkut", "livejournal", "livejournal1", "skitter",
+                     "uk-2005", "wiki-en", "rmat-s21-ef16", "rmat-s23-ef16",
+                     "rmat-s30-ef16"):
+            assert name in DATASETS
+
+    def test_figure_graphs_present(self):
+        for name in ("facebook-circles", "uniform", "rmat-s20-ef8",
+                     "rmat-s20-ef16", "rmat-s20-ef32"):
+            assert name in DATASETS
+
+    def test_names_sorted(self):
+        names = dataset_names()
+        assert names == sorted(names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            load_dataset("nope")
+
+    def test_paper_metadata_recorded(self):
+        spec = DATASETS["orkut"]
+        assert spec.paper_vertices == 3_000_000
+        assert spec.paper_edges == 117_200_000
+        assert spec.paper_csr == "905.8 MiB"
+
+
+class TestBuiltGraphs:
+    @pytest.mark.parametrize("name", ["livejournal", "skitter",
+                                      "rmat-s21-ef16"])
+    def test_deterministic(self, name):
+        a = load_dataset(name, seed=1)
+        b = load_dataset(name, seed=1)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+    def test_degree_two_minimum(self):
+        g = load_dataset("livejournal")
+        deg = g.degrees()
+        if g.directed:
+            deg = deg + g.in_degrees()
+        assert deg.min() >= 2
+
+    def test_directedness_matches_table2(self):
+        assert not load_dataset("orkut", scale=0.2).directed
+        assert load_dataset("livejournal1", scale=0.2).directed
+        assert load_dataset("wiki-en", scale=0.2).directed
+
+    def test_power_law_class(self):
+        assert is_power_law_like(load_dataset("orkut", scale=0.5))
+        assert not is_power_law_like(load_dataset("uniform"))
+
+    def test_scale_parameter(self):
+        small = load_dataset("livejournal", scale=0.25)
+        big = load_dataset("livejournal", scale=1.0)
+        assert small.n < big.n
+
+    def test_rmat_hub_spread(self):
+        # Relabeling must spread hubs: rank 0's block shouldn't hold all of
+        # the top-degree vertices.
+        g = load_dataset("rmat-s21-ef16")
+        deg = g.degrees()
+        top = np.argsort(deg)[-40:]
+        assert (top < g.n // 4).sum() < 30

@@ -1,0 +1,127 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    complete_graph,
+    ego_circles,
+    erdos_renyi,
+    path_graph,
+    powerlaw_configuration,
+    ring_of_cliques,
+    rmat,
+    star_graph,
+)
+from repro.graph.properties import gini, top_degree_share
+from repro.utils.errors import ConfigError
+
+
+class TestRMAT:
+    def test_size(self):
+        g = rmat(8, 8, seed=1)
+        assert g.n <= 256
+        assert 0 < g.m <= 8 * 256
+
+    def test_deterministic(self):
+        a = rmat(8, 8, seed=5)
+        b = rmat(8, 8, seed=5)
+        np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+    def test_seed_changes_graph(self):
+        a = rmat(8, 8, seed=5)
+        b = rmat(8, 8, seed=6)
+        assert a.m != b.m or not np.array_equal(a.adjacency, b.adjacency)
+
+    def test_skewed_degrees(self):
+        g = rmat(10, 16, seed=1)
+        assert gini(g.degrees().astype(float)) > 0.3
+
+    def test_graph500_params_validated(self):
+        with pytest.raises(ConfigError):
+            rmat(8, 8, a=0.9, b=0.2, c=0.2, d=0.2)
+        with pytest.raises(ConfigError):
+            rmat(0, 8)
+
+    def test_undirected_by_default(self):
+        g = rmat(7, 4, seed=1)
+        assert not g.directed
+        g.check_symmetric()
+
+
+class TestErdosRenyi:
+    def test_flat_degrees(self):
+        g = erdos_renyi(1024, 8192, seed=2)
+        assert gini(g.degrees().astype(float)) < 0.3
+
+    def test_uniform_vs_powerlaw_contrast(self):
+        # The Figure 4 premise: top-10% share differs strongly.
+        uni = erdos_renyi(1024, 8192, seed=2)
+        pl = powerlaw_configuration(1024, 8192, seed=2)
+        assert top_degree_share(pl) > top_degree_share(uni) + 0.15
+
+    def test_n_validation(self):
+        with pytest.raises(ConfigError):
+            erdos_renyi(1, 10)
+
+
+class TestPowerlaw:
+    def test_edge_count_near_target(self):
+        g = powerlaw_configuration(2048, 16384, seed=3)
+        assert g.m == pytest.approx(16384, rel=0.25)
+
+    def test_skew_increases_with_lower_gamma(self):
+        heavy = powerlaw_configuration(2048, 16384, gamma=2.0, seed=3)
+        light = powerlaw_configuration(2048, 16384, gamma=3.0, seed=3)
+        assert (gini(heavy.degrees().astype(float))
+                > gini(light.degrees().astype(float)))
+
+    def test_gamma_validated(self):
+        with pytest.raises(ConfigError):
+            powerlaw_configuration(100, 500, gamma=0.9)
+
+    def test_directed_variant(self):
+        g = powerlaw_configuration(512, 4096, seed=3, directed=True)
+        assert g.directed
+
+
+class TestEgoCircles:
+    def test_high_clustering(self):
+        from repro.core.local import lcc_local
+
+        g = ego_circles(n_egos=2, circle_size=10, n_circles_per_ego=3, seed=4)
+        scores = lcc_local(g)
+        assert scores.mean() > 0.2  # dense circles -> high clustering
+
+    def test_hubs_exist(self):
+        g = ego_circles(n_egos=2, circle_size=10, n_circles_per_ego=3, seed=4)
+        deg = g.degrees()
+        assert deg.max() > 3 * np.median(deg[deg > 0])
+
+
+class TestDeterministicShapes:
+    def test_complete_graph_triangles(self):
+        from repro.core.local import triangle_count_local
+
+        g = complete_graph(6)
+        assert triangle_count_local(g) == 20  # C(6,3)
+
+    def test_ring_of_cliques_triangles(self):
+        from repro.core.local import triangle_count_local
+
+        g = ring_of_cliques(5, 4)
+        assert triangle_count_local(g) == 5 * 4  # 5 * C(4,3)
+
+    def test_star_no_triangles(self):
+        from repro.core.local import triangle_count_local
+
+        assert triangle_count_local(star_graph(10)) == 0
+
+    def test_path_no_triangles(self):
+        from repro.core.local import triangle_count_local
+
+        assert triangle_count_local(path_graph(10)) == 0
+
+    def test_clique_size_validated(self):
+        with pytest.raises(ConfigError):
+            ring_of_cliques(3, 1)

@@ -1,0 +1,72 @@
+"""Tests for graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graph.io import (
+    load_csr,
+    read_edge_list,
+    save_csr,
+    write_edge_list,
+)
+from repro.utils.errors import GraphFormatError
+
+
+class TestEdgeList:
+    def test_roundtrip_undirected(self, tmp_path):
+        g = rmat(6, 4, seed=3)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, n=g.n)
+        np.testing.assert_array_equal(g.offsets, g2.offsets)
+        np.testing.assert_array_equal(g.adjacency, g2.adjacency)
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = CSRGraph.from_edges([(0, 1), (2, 1), (1, 2)], directed=True)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, directed=True, n=3)
+        np.testing.assert_array_equal(g.adjacency, g2.adjacency)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n% another\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\njunk\n")
+        with pytest.raises(GraphFormatError, match="junk"):
+            read_edge_list(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_name_from_stem(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestBinaryCSR:
+    def test_roundtrip(self, tmp_path):
+        g = rmat(6, 4, seed=3, name="roundtrip")
+        path = tmp_path / "g.npz"
+        save_csr(g, path)
+        g2 = load_csr(path)
+        np.testing.assert_array_equal(g.offsets, g2.offsets)
+        np.testing.assert_array_equal(g.adjacency, g2.adjacency)
+        assert g2.directed == g.directed
+        assert g2.name == "roundtrip"
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(GraphFormatError):
+            load_csr(path)

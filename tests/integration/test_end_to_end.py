@@ -1,0 +1,92 @@
+"""Integration tests: full pipelines over every dataset at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import remote_read_counts
+from repro.baselines.tric import TricConfig, run_tric
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local, triangle_count_local
+from repro.core.tc import run_distributed_tc
+from repro.graph.datasets import dataset_names, load_dataset
+
+SMALL_SCALE = 0.12
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_full_pipeline_every_dataset(name):
+    g = load_dataset(name, scale=SMALL_SCALE, seed=2)
+    cfg = LCCConfig(nranks=4, threads=4,
+                    cache=CacheSpec.paper_split(max(4096, g.nbytes // 2), g.n))
+    res = run_distributed_lcc(g, cfg)
+    np.testing.assert_allclose(res.lcc, lcc_local(g), atol=1e-12)
+    assert res.time > 0
+    assert res.outcome.nranks == 4
+
+
+@pytest.mark.parametrize("name", ["livejournal", "rmat-s21-ef16"])
+def test_tc_and_tric_and_lcc_agree(name):
+    g = load_dataset(name, scale=SMALL_SCALE, seed=2)
+    expected = triangle_count_local(g)
+    assert run_distributed_tc(g, LCCConfig(nranks=4)).global_triangles == expected
+    assert run_tric(g, TricConfig(nranks=4)).global_triangles == expected
+    assert run_distributed_lcc(g, LCCConfig(nranks=4)).global_triangles == expected
+
+
+def test_traced_reads_match_analytic_model():
+    # The analytic reuse analysis (Figures 1/4/5) must agree with the
+    # reads an actual traced simulation performs.
+    g = load_dataset("facebook-circles", scale=0.5, seed=2)
+    nranks = 2
+    cfg = LCCConfig(nranks=nranks, record_ops=True, overlap=False)
+    res = run_distributed_lcc(g, cfg)
+    traced = np.zeros(g.n, dtype=np.int64)
+    part_starts = {}
+    from repro.graph.partition import BlockPartition1D
+
+    part = BlockPartition1D(g.n, nranks)
+    for trace in res.outcome.traces:
+        for op in trace.iter_remote_reads():
+            if op.window != "adjacencies":
+                continue
+            # Map (target rank, window offset) back to the vertex id.
+            lo, hi = part.range_of(op.target)
+            # Reconstruct via the local offsets array of the target.
+            traced_vertex = None
+            # Offsets are cumulative; find the local index whose slot matches.
+            # (The offsets array is available through the graph itself.)
+            vs = part.local_vertices(op.target)
+            local_offsets = np.zeros(vs.shape[0] + 1, dtype=np.int64)
+            degs = g.offsets[vs + 1] - g.offsets[vs]
+            np.cumsum(degs, out=local_offsets[1:])
+            li = int(np.searchsorted(local_offsets, op.offset))
+            if li < vs.shape[0] and local_offsets[li] == op.offset:
+                traced_vertex = int(vs[li])
+            assert traced_vertex is not None
+            traced[traced_vertex] += 1
+    analytic = remote_read_counts(g, nranks)
+    np.testing.assert_array_equal(traced, analytic)
+
+
+def test_determinism_across_runs():
+    g = load_dataset("orkut", scale=SMALL_SCALE, seed=2)
+    cfg = LCCConfig(nranks=8, threads=12,
+                    cache=CacheSpec.paper_split(1 << 18, g.n, score="degree"))
+    a = run_distributed_lcc(g, cfg)
+    b = run_distributed_lcc(g, cfg)
+    assert a.time == b.time
+    assert a.summary() == b.summary()
+    np.testing.assert_array_equal(a.lcc, b.lcc)
+
+
+def test_network_presets_affect_time_not_results():
+    from repro.runtime.network import NetworkModel
+
+    g = load_dataset("skitter", scale=SMALL_SCALE, seed=2)
+    fast = run_distributed_lcc(g, LCCConfig(nranks=4,
+                                            network=NetworkModel.aries()))
+    slow = run_distributed_lcc(g, LCCConfig(nranks=4,
+                                            network=NetworkModel.ethernet()))
+    np.testing.assert_array_equal(fast.lcc, slow.lcc)
+    assert slow.time > fast.time

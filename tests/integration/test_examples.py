@@ -1,0 +1,58 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Each example is executed in-process (``runpy``) with stdout captured; we
+assert on the domain output so a silent breakage cannot pass.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "triangles" in out
+    assert "distributed == cached == local results: OK" in out
+
+
+def test_social_network_analysis(capsys):
+    run_example("social_network_analysis.py")
+    out = capsys.readouterr().out
+    assert "community core" in out
+    assert "top-degree vertices" in out
+
+
+def test_scaling_study_custom_args(capsys):
+    run_example("scaling_study.py", ["skitter", "--nodes", "4", "16",
+                                     "--scale", "0.3"])
+    out = capsys.readouterr().out
+    assert "speedup 4 -> 16" in out
+    assert "tric" in out
+
+
+def test_link_recommendation(capsys):
+    run_example("link_recommendation.py")
+    out = capsys.readouterr().out
+    assert "recommendations for vertex" in out
+    assert "shared friends" in out
+
+
+def test_dynamic_graph(capsys):
+    run_example("dynamic_graph.py")
+    out = capsys.readouterr().out
+    assert "mode = transparent" in out
+    assert "all epochs correct: True" in out

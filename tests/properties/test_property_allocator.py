@@ -1,0 +1,57 @@
+"""Property-based tests for the buffer allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clampi.allocator import BufferAllocator
+
+CAPACITY = 1 << 12
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=600)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=250,
+)
+
+
+@given(ops)
+@settings(max_examples=150)
+def test_allocator_never_overlaps_and_conserves(operations):
+    alloc = BufferAllocator(CAPACITY)
+    live: list[tuple[int, int]] = []  # (offset, size) in insertion order
+    for op, arg in operations:
+        if op == "alloc":
+            off = alloc.alloc(arg)
+            if off is not None:
+                # In-bounds.
+                assert 0 <= off and off + arg <= CAPACITY
+                # No overlap with any live block.
+                for o, s in live:
+                    assert off + arg <= o or o + s <= off, (
+                        f"overlap: [{off},{off+arg}) vs [{o},{o+s})")
+                live.append((off, arg))
+        else:  # free the arg-th live block, if it exists
+            if live:
+                off, size = live.pop(arg % len(live))
+                assert alloc.free(off) == size
+    assert alloc.used_bytes == sum(s for _, s in live)
+    assert alloc.free_bytes == CAPACITY - alloc.used_bytes
+    alloc.check_invariants()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=300), max_size=60))
+def test_alloc_all_then_free_all_restores_capacity(sizes):
+    alloc = BufferAllocator(CAPACITY)
+    offsets = []
+    for size in sizes:
+        off = alloc.alloc(size)
+        if off is not None:
+            offsets.append(off)
+    for off in offsets:
+        alloc.free(off)
+    assert alloc.free_bytes == CAPACITY
+    assert alloc.largest_free_block() == CAPACITY
+    assert alloc.n_free_regions() == 1
+    alloc.check_invariants()

@@ -1,0 +1,50 @@
+"""Property-based tests: AVL tree vs a sorted-list oracle."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clampi.avl import AVLTree
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove", "ceiling", "floor"]),
+              st.integers(min_value=0, max_value=60)),
+    max_size=200,
+)
+
+
+@given(ops)
+@settings(max_examples=150)
+def test_avl_matches_sorted_list_oracle(operations):
+    tree = AVLTree()
+    oracle: list[int] = []
+    for op, key in operations:
+        if op == "insert":
+            if key not in oracle:
+                tree.insert(key)
+                bisect.insort(oracle, key)
+        elif op == "remove":
+            if key in oracle:
+                tree.remove(key)
+                oracle.remove(key)
+        elif op == "ceiling":
+            idx = bisect.bisect_left(oracle, key)
+            expected = oracle[idx] if idx < len(oracle) else None
+            assert tree.ceiling(key) == expected
+        elif op == "floor":
+            idx = bisect.bisect_right(oracle, key) - 1
+            expected = oracle[idx] if idx >= 0 else None
+            assert tree.floor(key) == expected
+    assert list(tree) == oracle
+    assert len(tree) == len(oracle)
+    tree.check_invariants()
+
+
+@given(st.lists(st.integers(), unique=True, max_size=300))
+def test_avl_iteration_sorted(keys):
+    tree = AVLTree()
+    for k in keys:
+        tree.insert(k)
+    assert list(tree) == sorted(keys)
+    tree.check_invariants()

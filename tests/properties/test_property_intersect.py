@@ -1,0 +1,59 @@
+"""Property-based tests for the intersection kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intersect import (
+    binary_search_count,
+    count_common_above,
+    hybrid_count,
+    ssi_count,
+)
+
+sorted_unique_list = st.lists(
+    st.integers(min_value=0, max_value=500), max_size=80
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int32))
+
+
+@given(sorted_unique_list, sorted_unique_list)
+def test_kernels_match_set_semantics(a, b):
+    expected = len(set(a.tolist()) & set(b.tolist()))
+    assert ssi_count(a, b) == expected
+    assert binary_search_count(a, b) == expected
+    assert hybrid_count(a, b) == expected
+
+
+@given(sorted_unique_list, sorted_unique_list)
+def test_kernels_symmetric(a, b):
+    assert ssi_count(a, b) == ssi_count(b, a)
+    assert binary_search_count(a, b) == binary_search_count(b, a)
+    assert hybrid_count(a, b) == hybrid_count(b, a)
+
+
+@given(sorted_unique_list)
+def test_self_intersection_is_identity(a):
+    assert ssi_count(a, a) == a.shape[0]
+    assert binary_search_count(a, a) == a.shape[0]
+
+
+@given(sorted_unique_list, sorted_unique_list)
+def test_intersection_bounded(a, b):
+    c = hybrid_count(a, b)
+    assert 0 <= c <= min(a.shape[0], b.shape[0])
+
+
+@given(sorted_unique_list, sorted_unique_list,
+       st.integers(min_value=-1, max_value=501))
+def test_count_above_matches_filtered_set(a, b, threshold):
+    expected = len({x for x in set(a.tolist()) & set(b.tolist())
+                    if x > threshold})
+    for method in ("ssi", "binary", "hybrid"):
+        assert count_common_above(a, b, threshold, method) == expected
+
+
+@given(sorted_unique_list, sorted_unique_list,
+       st.integers(min_value=0, max_value=500))
+def test_count_above_monotone_in_threshold(a, b, threshold):
+    assert (count_common_above(a, b, threshold)
+            <= count_common_above(a, b, threshold - 1))

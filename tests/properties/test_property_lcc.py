@@ -1,0 +1,60 @@
+"""Property-based end-to-end tests: distributed == local == networkx."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.core.local import lcc_local, triangle_count_local
+from repro.core.tc import run_distributed_tc
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    return CSRGraph.from_edges(edges, n)
+
+
+@given(random_graphs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_distributed_lcc_matches_networkx(graph, nranks):
+    res = run_distributed_lcc(graph, LCCConfig(nranks=nranks))
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(map(tuple, graph.edges()))
+    expected = nx.clustering(g)
+    for v in range(graph.n):
+        assert abs(res.lcc[v] - expected[v]) < 1e-12
+
+
+@given(random_graphs(), st.integers(min_value=1, max_value=6),
+       st.sampled_from(["block", "cyclic"]),
+       st.sampled_from(["ssi", "binary", "hybrid"]))
+@settings(max_examples=60, deadline=None)
+def test_distributed_tc_invariant_to_configuration(graph, nranks, partition,
+                                                   method):
+    res = run_distributed_tc(graph, LCCConfig(
+        nranks=nranks, partition=partition, method=method))
+    assert res.global_triangles == triangle_count_local(graph)
+
+
+@given(random_graphs(), st.integers(min_value=2, max_value=5),
+       st.integers(min_value=256, max_value=1 << 14),
+       st.sampled_from(["default", "degree", "lru"]))
+@settings(max_examples=40, deadline=None)
+def test_caching_never_changes_results(graph, nranks, cache_bytes, score):
+    cfg = LCCConfig(nranks=nranks)
+    plain = run_distributed_lcc(graph, cfg)
+    cached = run_distributed_lcc(graph, cfg.replace(
+        cache=CacheSpec.paper_split(cache_bytes, max(graph.n, 4),
+                                    score=score)))
+    np.testing.assert_array_equal(plain.lcc, cached.lcc)
+    np.testing.assert_array_equal(plain.triangles_per_vertex,
+                                  cached.triangles_per_vertex)

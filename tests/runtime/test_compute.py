@@ -1,0 +1,72 @@
+"""Tests for the compute cost model and the hybrid decision rule."""
+
+import math
+
+import pytest
+
+from repro.runtime.compute import ComputeModel, prefer_ssi
+
+
+class TestPreferSSI:
+    def test_equal_lengths_prefer_ssi(self):
+        # |B|/|A| = 1 <= log2(|B|) - 1 for |B| >= 4.
+        assert prefer_ssi(100, 100)
+        assert prefer_ssi(8, 8)
+
+    def test_highly_skewed_prefers_binary(self):
+        # |B|/|A| = 1000 > log2(10000) - 1 ~ 12.3.
+        assert not prefer_ssi(10, 10_000)
+
+    def test_rule_boundary(self):
+        # At |B| = 1024: rule is |B|/|A| <= 9; |A| = 128 gives ratio 8 (SSI),
+        # |A| = 64 gives ratio 16 (binary).
+        assert prefer_ssi(128, 1024)
+        assert not prefer_ssi(64, 1024)
+
+    def test_symmetric_in_arguments(self):
+        assert prefer_ssi(10, 1000) == prefer_ssi(1000, 10)
+
+    def test_degenerate_sizes_default_to_ssi(self):
+        assert prefer_ssi(0, 100)
+        assert prefer_ssi(1, 2)
+
+
+class TestComputeModel:
+    def test_ssi_linear_in_total_length(self):
+        cm = ComputeModel()
+        base = cm.ssi_time(0, 0)
+        assert cm.ssi_time(100, 100) - base == pytest.approx(200 * cm.c_ssi)
+
+    def test_binary_uses_shorter_as_keys(self):
+        cm = ComputeModel()
+        assert cm.binary_search_time(10, 1000) == cm.binary_search_time(1000, 10)
+        expected = cm.edge_overhead + 10 * math.log2(1000) * cm.c_bs
+        assert cm.binary_search_time(10, 1000) == pytest.approx(expected)
+
+    def test_binary_beats_ssi_on_skewed_pairs(self):
+        cm = ComputeModel()
+        assert cm.binary_search_time(10, 100_000) < cm.ssi_time(10, 100_000)
+
+    def test_ssi_beats_binary_on_equal_pairs(self):
+        cm = ComputeModel()
+        assert cm.ssi_time(1000, 1000) < cm.binary_search_time(1000, 1000)
+
+    def test_hybrid_picks_winner(self):
+        cm = ComputeModel()
+        # Equal lists: hybrid == ssi.
+        assert cm.hybrid_time(500, 500) == cm.ssi_time(500, 500)
+        # Skewed: hybrid == binary.
+        assert cm.hybrid_time(10, 100_000) == cm.binary_search_time(10, 100_000)
+
+    def test_kernel_time_dispatch(self):
+        cm = ComputeModel()
+        assert cm.kernel_time("ssi", 5, 7) == cm.ssi_time(5, 7)
+        assert cm.kernel_time("binary", 5, 7) == cm.binary_search_time(5, 7)
+        assert cm.kernel_time("hybrid", 5, 7) == cm.hybrid_time(5, 7)
+        with pytest.raises(ValueError):
+            cm.kernel_time("quantum", 5, 7)
+
+    def test_bs_cost_per_comparison_higher(self):
+        # Random access must be pricier than streaming (Section IV-C).
+        cm = ComputeModel()
+        assert cm.c_bs > cm.c_ssi

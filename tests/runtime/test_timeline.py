@@ -1,0 +1,85 @@
+"""Tests for timeline export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core.config import LCCConfig
+from repro.core.lcc import run_distributed_lcc
+from repro.graph.generators import rmat
+from repro.runtime.timeline import (
+    comm_comp_profile,
+    render_ascii_gantt,
+    summarize_ops,
+    to_rows,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_outcome():
+    g = rmat(6, 4, seed=10)
+    res = run_distributed_lcc(g, LCCConfig(nranks=2, record_ops=True,
+                                           overlap=False))
+    return res.outcome
+
+
+class TestRows:
+    def test_rows_sorted_by_time(self, traced_outcome):
+        rows = to_rows(traced_outcome)
+        assert rows
+        times = [r["t"] for r in rows]
+        assert times == sorted(times)
+
+    def test_rows_cover_all_ops(self, traced_outcome):
+        rows = to_rows(traced_outcome)
+        total_ops = sum(len(t.ops) for t in traced_outcome.traces)
+        assert len(rows) == total_ops
+
+    def test_csv_roundtrip(self, traced_outcome, tmp_path):
+        path = tmp_path / "timeline.csv"
+        n = write_csv(traced_outcome, path)
+        with path.open() as fh:
+            read = list(csv.DictReader(fh))
+        assert len(read) == n
+        assert {"rank", "kind", "t"} <= set(read[0])
+
+
+class TestProfile:
+    def test_profile_shape(self, traced_outcome):
+        profile = comm_comp_profile(traced_outcome, buckets=10)
+        assert set(profile) == {0, 1}
+        for frac in profile.values():
+            assert frac.shape == (10,)
+            assert np.all((0 <= frac) & (frac <= 1))
+
+    def test_comm_present_in_profile(self, traced_outcome):
+        profile = comm_comp_profile(traced_outcome, buckets=5)
+        assert any(frac.max() > 0 for frac in profile.values())
+
+    def test_invalid_buckets(self, traced_outcome):
+        with pytest.raises(ValueError):
+            comm_comp_profile(traced_outcome, buckets=0)
+
+
+class TestGantt:
+    def test_render(self, traced_outcome):
+        chart = render_ascii_gantt(traced_outcome, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert "rank   0" in lines[1]
+        body = lines[1].split("|")[1]
+        assert len(body) == 40
+        assert "#" in body or "." in body
+
+    def test_invalid_width(self, traced_outcome):
+        with pytest.raises(ValueError):
+            render_ascii_gantt(traced_outcome, width=0)
+
+
+class TestSummary:
+    def test_summarize(self, traced_outcome):
+        counts = summarize_ops(traced_outcome.traces[0])
+        assert counts.get("get_remote", 0) > 0
+        assert sum(counts.values()) == len(traced_outcome.traces[0].ops)

@@ -1,0 +1,71 @@
+"""Tests for RankTrace counters and op recording."""
+
+import pytest
+
+from repro.runtime.trace import OpKind, RankTrace
+
+
+class TestCounters:
+    def test_remote_get_accounting(self):
+        tr = RankTrace(rank=0)
+        tr.remote_get("adj", 1, 10, 5, 40, 1e-6, 1e-6)
+        assert tr.n_remote_gets == 1
+        assert tr.bytes_remote == 40
+        assert tr.comm_time == pytest.approx(1e-6)
+        assert tr.total_reads == 1
+
+    def test_cache_hit_accounting(self):
+        tr = RankTrace(rank=0)
+        tr.cache_hit("adj", 1, 10, 5, 40, 1e-8, 1e-8)
+        assert tr.n_cache_hits == 1
+        assert tr.bytes_cached == 40
+        assert tr.cache_time == pytest.approx(1e-8)
+
+    def test_remote_fraction(self):
+        tr = RankTrace(rank=0)
+        tr.remote_get("w", 1, 0, 1, 8, 1e-6, 0)
+        tr.local_read("w", 0, 1, 8, 1e-7, 0)
+        tr.local_read("w", 0, 1, 8, 1e-7, 0)
+        tr.cache_hit("w", 1, 0, 1, 8, 1e-8, 0)
+        assert tr.remote_fraction == pytest.approx(0.25)
+
+    def test_remote_fraction_empty(self):
+        assert RankTrace(rank=0).remote_fraction == 0.0
+
+
+class TestOpRecording:
+    def test_ops_not_recorded_by_default(self):
+        tr = RankTrace(rank=0)
+        tr.remote_get("adj", 1, 0, 2, 16, 1e-6, 1e-6)
+        assert tr.ops == []
+
+    def test_ops_recorded_when_enabled(self):
+        tr = RankTrace(rank=0, record_ops=True)
+        tr.remote_get("adj", 1, 3, 2, 16, 1e-6, 1e-6)
+        tr.local_read("adj", 0, 2, 16, 1e-7, 2e-6)
+        assert len(tr.ops) == 2
+        op = tr.ops[0]
+        assert op.kind is OpKind.GET_REMOTE
+        assert (op.window, op.target, op.offset, op.count) == ("adj", 1, 3, 2)
+
+    def test_iter_remote_reads_filters(self):
+        tr = RankTrace(rank=0, record_ops=True)
+        tr.remote_get("adj", 1, 0, 1, 8, 1e-6, 0)
+        tr.local_read("adj", 0, 1, 8, 1e-7, 0)
+        tr.cache_hit("adj", 1, 0, 1, 8, 1e-8, 0)
+        remote = list(tr.iter_remote_reads())
+        assert len(remote) == 1
+        assert remote[0].kind is OpKind.GET_REMOTE
+
+
+class TestMerge:
+    def test_merge_totals(self):
+        a, b = RankTrace(rank=0), RankTrace(rank=1)
+        a.remote_get("w", 1, 0, 1, 8, 1e-6, 0)
+        b.remote_get("w", 0, 0, 1, 8, 2e-6, 0)
+        b.compute(5e-6, 0)
+        a.merge_totals(b)
+        assert a.n_remote_gets == 2
+        assert a.bytes_remote == 16
+        assert a.comm_time == pytest.approx(3e-6)
+        assert a.comp_time == pytest.approx(5e-6)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasets:
+    def test_lists_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "livejournal" in out
+        assert "rmat-s21-ef16" in out
+
+
+class TestInfo:
+    def test_dataset_info(self, capsys):
+        assert main(["info", "skitter", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out
+        assert "degree_max" in out
+
+    def test_info_json(self, capsys):
+        assert main(["info", "skitter", "--scale", "0.2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vertices"] > 0
+
+    def test_input_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n0 2\n")
+        assert main(["info", "--input", str(path)]) == 0
+        assert "vertices" in capsys.readouterr().out
+
+    def test_missing_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info"])
+
+
+class TestLcc:
+    def test_lcc_run(self, capsys):
+        assert main(["lcc", "skitter", "--scale", "0.2",
+                     "--nranks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated_time" in out
+        assert "global_triangles" in out
+
+    def test_lcc_cached_json(self, capsys):
+        assert main(["lcc", "skitter", "--scale", "0.2", "--nranks", "4",
+                     "--cache", "degree", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hit_rate"] >= 0
+
+    def test_lcc_top_and_output(self, tmp_path, capsys):
+        out_file = tmp_path / "scores.npy"
+        assert main(["lcc", "skitter", "--scale", "0.2", "--nranks", "2",
+                     "--top", "3", "--json", "--output", str(out_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["top_lcc_vertices"]) == 3
+        scores = np.load(out_file)
+        assert scores.shape[0] == payload["vertices"]
+
+
+class TestTc:
+    @pytest.mark.parametrize("algorithm", ["async", "async-2d", "tric",
+                                           "disttc", "mapreduce"])
+    def test_all_algorithms_agree(self, algorithm, capsys):
+        assert main(["tc", "skitter", "--scale", "0.15", "--nranks", "4",
+                     "--algorithm", algorithm, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["triangles"] > 0
+
+    def test_triangle_counts_consistent(self, capsys):
+        counts = set()
+        for algorithm in ("async", "tric", "mapreduce"):
+            main(["tc", "skitter", "--scale", "0.15", "--nranks", "4",
+                  "--algorithm", algorithm, "--json"])
+            counts.add(json.loads(capsys.readouterr().out)["triangles"])
+        assert len(counts) == 1
