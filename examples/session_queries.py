@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Serve many small queries from one resident cluster.
+
+The paper's setting is an analytics service: the graph lives partitioned
+across the cluster and *queries* arrive over time, which is exactly what
+makes the CLaMPI caches pay off (their value is reuse across accesses,
+Figure 4).  This example registers two custom kernels with the registry —
+
+* ``tri-query``  — per-vertex triangle count: the owning rank fetches its
+  neighbours' adjacency lists over RMA (through the caches) and counts
+  intersections, a point query instead of a whole-graph pass;
+* ``topk-lcc``   — the k most clustered vertices above a degree floor;
+
+then fires a stream of point queries with ``keep_cache=True`` so each one
+warms the caches for the next.
+
+    python examples/session_queries.py
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import Session, register_kernel
+from repro.core import CacheSpec, LCCConfig
+from repro.core.intersect import count_common
+from repro.graph import load_dataset
+
+
+@dataclass
+class TriangleQueryResult:
+    """Result of one per-vertex triangle query."""
+
+    vertex: int
+    triangles: int
+    time: float
+    cache_hit_rate: float
+
+
+@register_kernel("tri-query", resident=True, overwrite=True,
+                 description="triangle count of one vertex (point query)")
+def triangle_query(session, config, *, vertex=0, keep_cache=False, **_):
+    engine, dist, _, adj_caches = session.resident_cluster(
+        config, keep_cache=keep_cache)
+    owner = dist.partition.owner(vertex)
+    ctx = engine.contexts[owner]
+    a = dist.local_adj(owner, vertex)
+    ctx.advance(config.memory.local_read_time(a.nbytes))
+    closed_wedges = 0
+    for j in a:
+        b = dist.read_adjacency(ctx, int(j))
+        ctx.compute(config.compute.kernel_time("hybrid", a.shape[0],
+                                               b.shape[0]))
+        closed_wedges += count_common(a, b, "hybrid")
+    dist.close_epochs()
+    cache = adj_caches[owner] if adj_caches else None
+    # Each triangle {v, j, k} closes two wedges at v (via j and via k).
+    return TriangleQueryResult(
+        vertex=vertex, triangles=closed_wedges // 2, time=ctx.now,
+        cache_hit_rate=cache.stats.hit_rate if cache else 0.0)
+
+
+@dataclass
+class TopKResult:
+    """The k most clustered vertices above a degree floor."""
+
+    vertices: np.ndarray
+    scores: np.ndarray
+    time: float
+
+
+@register_kernel("topk-lcc", resident=True, overwrite=True,
+                 description="k most clustered vertices above a degree floor")
+def topk_lcc(session, config, *, k=5, min_degree=10, keep_cache=False, **_):
+    full = session.run("lcc", config=config, keep_cache=keep_cache)
+    scores = full.lcc.copy()
+    scores[session.graph.degrees() < min_degree] = -1.0
+    order = np.argsort(-scores)[:k]
+    return TopKResult(vertices=order, scores=full.lcc[order], time=full.time)
+
+
+def main() -> None:
+    graph = load_dataset("rmat-s20-ef16", scale=0.5)
+    cfg = LCCConfig(
+        nranks=8, threads=12,
+        cache=CacheSpec.paper_split(graph.nbytes, graph.n, score="degree"))
+    print(f"graph: {graph.name}  |V|={graph.n:,}  |E|={graph.m:,}\n")
+
+    with Session(graph, cfg) as session:
+        top = session.run("topk-lcc", k=3, min_degree=20)
+        print("top-3 clustered vertices (degree >= 20):")
+        for v, s in zip(top.vertices, top.scores):
+            print(f"  vertex {v:6d}  lcc={s:.4f}  deg={graph.degree(int(v))}")
+
+        # A stream of per-vertex triangle queries over the warm cluster.
+        hubs = np.argsort(-graph.degrees())[:6]
+        print("\nper-vertex triangle queries (keep_cache=True):")
+        times = []
+        for v in hubs:
+            res = session.run("tri-query", vertex=int(v), keep_cache=True)
+            times.append(res.time)
+            print(f"  vertex {res.vertex:6d}: {res.triangles:7,} triangles "
+                  f"in {res.time * 1e6:7.1f} us simulated "
+                  f"(hit rate {res.cache_hit_rate:.0%}, "
+                  f"warm={res.warm_cache})")
+        print(f"\nwarm queries are faster: last {times[-1] * 1e6:.1f} us vs "
+              f"first {times[0] * 1e6:.1f} us "
+              f"({session.queries_run} queries, "
+              f"{session.partition_builds} partitioning)")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,22 +6,58 @@ distributed TC/LCC over one-sided RMA reads of a 1D-partitioned CSR graph,
 with CLaMPI-style caching of remote accesses and degree-centrality
 eviction scores.
 
-Quickstart::
+Quickstart — one resident cluster, many queries::
 
-    from repro.core import compute_lcc, count_triangles, LCCConfig, CacheSpec
+    from repro import Session
+    from repro.core import CacheSpec, LCCConfig
     from repro.graph import load_dataset
 
     g = load_dataset("livejournal")
-    scores = compute_lcc(g)                       # local
-    result = compute_lcc(g, LCCConfig(            # simulated 64-node cluster
-        nranks=64, threads=12,
-        cache=CacheSpec.paper_split(2 * g.nbytes, g.n, score="degree")))
+    cfg = LCCConfig(nranks=64, threads=12,
+                    cache=CacheSpec.paper_split(2 * g.nbytes, g.n,
+                                                score="degree"))
+    with Session(g, cfg) as session:
+        lcc = session.run("lcc", keep_cache=True)    # cold CLaMPI caches
+        warm = session.run("lcc", keep_cache=True)   # warm: paper's reuse win
+        tric = session.run("tric")                   # baselines by name
+        cells = session.sweep({"ssi": {"method": "ssi"},
+                               "hybrid": {"method": "hybrid"}})
+
+Kernels (``lcc``, ``tc``, ``tc2d``, ``tric``, ``disttc``, ``mapreduce``)
+are registered by name; add your own with
+:func:`~repro.session.register_kernel`.  The single-shot helpers
+(:func:`repro.core.compute_lcc`, :func:`repro.core.count_triangles`)
+remain as thin wrappers.
 
 Subpackages: :mod:`repro.runtime` (simulated MPI/RMA), :mod:`repro.clampi`
 (the cache), :mod:`repro.graph` (CSR/generators/partitioning),
 :mod:`repro.core` (the paper's algorithms), :mod:`repro.baselines`
 (TriC, DistTC, MapReduce), :mod:`repro.analysis` (the experiment harness
-regenerating every table and figure).
+regenerating every table and figure); :mod:`repro.session` (the
+resident-cluster query API).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.session import (  # noqa: E402
+    KernelResult,
+    KernelSpec,
+    Session,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    run_kernel,
+    unregister_kernel,
+)
+
+__all__ = [
+    "KernelResult",
+    "KernelSpec",
+    "Session",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "run_kernel",
+    "unregister_kernel",
+    "__version__",
+]

@@ -10,11 +10,9 @@ paper's headline is a 73% total-time reduction for R-MAT S30.
 
 from __future__ import annotations
 
-from repro.analysis.sweep import run_variants, series, speedup
+from repro.analysis.sweep import run_kernel_variants, series, speedup
 from repro.analysis.tables import Table
-from repro.baselines.tric import TricConfig, run_tric
 from repro.core.config import CacheSpec, LCCConfig
-from repro.core.lcc import run_distributed_lcc
 from repro.graph.datasets import load_dataset
 
 GRAPHS = ["rmat-s30-ef16", "uk-2005", "wiki-en"]
@@ -33,18 +31,13 @@ def run(scale: float = 1.0, seed: int = 0, fast: bool = False,
         g = load_dataset(name, scale=scale, seed=seed)
         cache = CacheSpec.paper_split(max(4096, int(0.12 * g.nbytes)), g.n)
 
-        def lcc(gr, p):
-            return run_distributed_lcc(gr, LCCConfig(nranks=p, threads=12))
-
-        def lcc_cached(gr, p):
-            return run_distributed_lcc(
-                gr, LCCConfig(nranks=p, threads=12, cache=cache))
-
-        def tric(gr, p):
-            return run_tric(gr, TricConfig(nranks=p))
-
-        variants = {"lcc": lcc, "lcc-cached": lcc_cached, "tric": tric}
-        cells = run_variants(g, counts, variants)
+        variants = {
+            "lcc": {"kernel": "lcc"},
+            "lcc-cached": {"kernel": "lcc", "cache": cache},
+            "tric": {"kernel": "tric"},
+        }
+        cells = run_kernel_variants(g, counts, variants,
+                                    config=LCCConfig(threads=12))
         by = {v: dict(series(cells, v)) for v in variants}
         t = Table(
             ["nodes", "lcc", "lcc-cached", "tric", "cache gain", "tric/lcc"],

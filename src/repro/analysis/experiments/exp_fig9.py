@@ -15,11 +15,9 @@ scale-free graphs, nearly flat in node count.
 
 from __future__ import annotations
 
-from repro.analysis.sweep import run_variants, series, speedup
+from repro.analysis.sweep import run_kernel_variants, series, speedup
 from repro.analysis.tables import Table
-from repro.baselines.tric import TricConfig, run_tric
 from repro.core.config import CacheSpec, LCCConfig
-from repro.core.lcc import run_distributed_lcc
 from repro.graph.datasets import load_dataset
 
 GRAPHS = ["rmat-s21-ef16", "rmat-s23-ef16", "orkut", "livejournal",
@@ -34,27 +32,13 @@ PAPER_SPEEDUPS = {
 
 
 def make_variants(graph, buffered_cap: int = 1 << 18):
-    """The four Figure 9 series."""
+    """The four Figure 9 series, as Session kernel variants."""
     cache = CacheSpec.paper_split(2 * graph.nbytes, graph.n)
-
-    def lcc(g, p):
-        return run_distributed_lcc(g, LCCConfig(nranks=p, threads=12))
-
-    def lcc_cached(g, p):
-        return run_distributed_lcc(
-            g, LCCConfig(nranks=p, threads=12, cache=cache))
-
-    def tric(g, p):
-        return run_tric(g, TricConfig(nranks=p))
-
-    def tric_buffered(g, p):
-        return run_tric(g, TricConfig(nranks=p, buffer_capacity=buffered_cap))
-
     return {
-        "lcc": lcc,
-        "lcc-cached": lcc_cached,
-        "tric": tric,
-        "tric-buffered": tric_buffered,
+        "lcc": {"kernel": "lcc"},
+        "lcc-cached": {"kernel": "lcc", "cache": cache},
+        "tric": {"kernel": "tric"},
+        "tric-buffered": {"kernel": "tric", "buffer_capacity": buffered_cap},
     }
 
 
@@ -66,7 +50,8 @@ def run(scale: float = 1.0, seed: int = 0, fast: bool = False,
     for name in names:
         g = load_dataset(name, scale=scale, seed=seed)
         variants = make_variants(g)
-        cells = run_variants(g, counts, variants)
+        cells = run_kernel_variants(g, counts, variants,
+                                    config=LCCConfig(threads=12))
         directed_note = " (directed: transitive triads)" if g.directed else ""
         t = Table(
             ["nodes"] + list(variants) + ["cache gain", "tric/lcc"],

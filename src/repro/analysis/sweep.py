@@ -2,6 +2,15 @@
 
 Used by the Figure 9/10 experiments, which compare four series (LCC
 non-cached, LCC cached, TriC, TriC-Buffered) over a range of node counts.
+
+Two drivers coexist:
+
+* :func:`run_kernel_variants` — the Session-backed path: variants are
+  kernel names plus config overrides, and one resident
+  :class:`~repro.session.Session` amortizes graph partitioning across
+  every variant sharing a cluster shape;
+* :func:`run_variants` — the legacy callable-based path, kept for ad-hoc
+  sweeps over arbitrary runner functions.
 """
 
 from __future__ import annotations
@@ -9,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.core.config import LCCConfig
 from repro.graph.csr import CSRGraph
 from repro.utils.log import get_logger
 
@@ -16,6 +26,9 @@ logger = get_logger("analysis.sweep")
 
 #: A variant maps (graph, nranks) to an object with a ``.time`` attribute.
 Variant = Callable[[CSRGraph, int], Any]
+
+#: A kernel variant: options for ``Session.run`` (plus optional "kernel").
+KernelVariant = Mapping[str, Any]
 
 
 @dataclass
@@ -42,6 +55,40 @@ def run_variants(
             result = fn(graph, nranks)
             cells.append(SweepCell(variant=name, nranks=nranks,
                                    time=result.time, result=result))
+    return cells
+
+
+def run_kernel_variants(
+    graph: CSRGraph,
+    node_counts: Sequence[int],
+    variants: Mapping[str, KernelVariant],
+    *,
+    config: LCCConfig | None = None,
+    kernel: str = "lcc",
+) -> list[SweepCell]:
+    """Session-backed sweep: every variant at every node count.
+
+    Each variant is an option dict for :meth:`repro.session.Session.run`
+    (an optional ``"kernel"`` key selects the kernel, default ``kernel``).
+    One session serves the whole sweep, so variants that share a cluster
+    shape reuse a single partitioned CSR instead of re-splitting per run.
+    """
+    # Imported here: repro.session pulls in the kernel modules, one of which
+    # (lcc_fast) uses repro.analysis.throughput — a top-level import would
+    # make this module circular.
+    from repro.session import Session
+
+    cells: list[SweepCell] = []
+    with Session(graph, config) as session:
+        for nranks in node_counts:
+            for name, options in variants.items():
+                opts = dict(options)
+                k = opts.pop("kernel", kernel)
+                logger.info("running %s (kernel %s) on %s with %d ranks",
+                            name, k, graph.name or "graph", nranks)
+                result = session.run(k, nranks=nranks, **opts)
+                cells.append(SweepCell(variant=name, nranks=nranks,
+                                       time=result.time, result=result))
     return cells
 
 

@@ -19,11 +19,10 @@ import numpy as np
 
 from repro.analysis.reuse import top_degree_read_share
 from repro.analysis.throughput import edges_per_microsecond
-from repro.baselines.tric import TricConfig, run_tric
 from repro.core.config import CacheSpec, LCCConfig
-from repro.core.lcc import run_distributed_lcc
 from repro.core.local import lcc_local
 from repro.graph.datasets import load_dataset
+from repro.session import Session, run_kernel
 
 
 @dataclass
@@ -39,7 +38,7 @@ def _graph(name: str, scale: float = 1.0):
 
 def check_correctness() -> bool:
     g = _graph("skitter", 0.3)
-    res = run_distributed_lcc(g, LCCConfig(nranks=8))
+    res = run_kernel("lcc", g, LCCConfig(nranks=8))
     return bool(np.allclose(res.lcc, lcc_local(g)))
 
 
@@ -66,22 +65,23 @@ def check_reuse_concentration() -> bool:
 
 def check_caching_helps() -> bool:
     g = _graph("rmat-s21-ef16")
-    cfg = LCCConfig(nranks=8, threads=12)
-    plain = run_distributed_lcc(g, cfg)
-    cached = run_distributed_lcc(g, cfg.replace(
-        cache=CacheSpec.paper_split(2 * g.nbytes, g.n)))
+    with Session(g, LCCConfig(nranks=8, threads=12)) as session:
+        plain = session.run("lcc")
+        cached = session.run(
+            "lcc", cache=CacheSpec.paper_split(2 * g.nbytes, g.n))
     return cached.time < plain.time * 0.8
 
 
 def check_cache_gain_erodes_with_ranks() -> bool:
     g = _graph("rmat-s21-ef16")
     gains = []
-    for p in (4, 64):
-        cfg = LCCConfig(nranks=p, threads=12)
-        plain = run_distributed_lcc(g, cfg)
-        cached = run_distributed_lcc(g, cfg.replace(
-            cache=CacheSpec.paper_split(2 * g.nbytes, g.n)))
-        gains.append(1 - cached.time / plain.time)
+    with Session(g, LCCConfig(threads=12)) as session:
+        for p in (4, 64):
+            plain = session.run("lcc", nranks=p)
+            cached = session.run(
+                "lcc", nranks=p,
+                cache=CacheSpec.paper_split(2 * g.nbytes, g.n))
+            gains.append(1 - cached.time / plain.time)
     return gains[0] > gains[1] > 0
 
 
@@ -89,25 +89,38 @@ def check_degree_scores_never_lose() -> bool:
     g = _graph("rmat-s20-ef16")
     cap = max(4096, g.adjacency.nbytes // 4)
     rates = {}
-    for score in ("default", "degree"):
-        res = run_distributed_lcc(g, LCCConfig(
-            nranks=8, threads=12,
-            cache=CacheSpec(offsets_bytes=0, adj_bytes=cap, score=score)))
-        rates[score] = res.adj_cache_stats["miss_rate"]
+    with Session(g, LCCConfig(nranks=8, threads=12)) as session:
+        for score in ("default", "degree"):
+            res = session.run("lcc", cache=CacheSpec(
+                offsets_bytes=0, adj_bytes=cap, score=score))
+            rates[score] = res.adj_cache_stats["miss_rate"]
     return rates["degree"] <= rates["default"] + 1e-9
+
+
+def check_warm_cache_reuse() -> bool:
+    g = _graph("rmat-s20-ef16")
+    spec = CacheSpec.paper_split(max(4096, g.nbytes // 2), g.n)
+    with Session(g, LCCConfig(nranks=8, threads=12, cache=spec)) as session:
+        cold = session.run("lcc", keep_cache=True)
+        warm = session.run("lcc", keep_cache=True)
+    return (warm.adj_cache_stats["hit_rate"]
+            > cold.adj_cache_stats["hit_rate"]
+            and warm.time < cold.time)
 
 
 def check_async_beats_tric() -> bool:
     g = _graph("rmat-s21-ef16")
-    tric = run_tric(g, TricConfig(nranks=16))
-    a = run_distributed_lcc(g, LCCConfig(nranks=16, threads=12))
+    with Session(g, LCCConfig(nranks=16, threads=12)) as session:
+        tric = session.run("tric")
+        a = session.run("lcc")
     return a.time < tric.time
 
 
 def check_async_scales() -> bool:
     g = _graph("rmat-s21-ef16")
-    t4 = run_distributed_lcc(g, LCCConfig(nranks=4, threads=12)).time
-    t64 = run_distributed_lcc(g, LCCConfig(nranks=64, threads=12)).time
+    with Session(g, LCCConfig(threads=12)) as session:
+        t4 = session.run("lcc", nranks=4).time
+        t64 = session.run("lcc", nranks=64).time
     return t4 / t64 > 4.0
 
 
@@ -125,6 +138,8 @@ CHECKS = [
           check_cache_gain_erodes_with_ranks),
     Check("fig8", "degree eviction scores never lose to stock scores",
           check_degree_scores_never_lose),
+    Check("fig4-reuse", "warm caches across session queries raise hit rate",
+          check_warm_cache_reuse),
     Check("fig9-tric", "async LCC beats TriC on scale-free graphs",
           check_async_beats_tric),
     Check("fig9-scaling", "async LCC strong-scales 4 -> 64 nodes",

@@ -3,10 +3,16 @@
 ::
 
     python -m repro datasets                         # list stand-ins
+    python -m repro kernels                          # list registered kernels
     python -m repro info livejournal                 # graph properties
     python -m repro lcc livejournal --nranks 16 --cache degree
     python -m repro tc --input edges.txt --nranks 8 --algorithm tric
+    python -m repro run livejournal --kernel tric --nranks 16
     python -m repro lcc orkut --json                 # machine-readable
+
+Every algorithm execution goes through the kernel registry
+(:mod:`repro.session`); ``run`` exposes any registered kernel by name,
+while ``lcc``/``tc`` remain the task-oriented front ends.
 """
 
 from __future__ import annotations
@@ -17,16 +23,11 @@ import sys
 
 import numpy as np
 
-from repro.baselines.disttc import DistTCConfig, run_disttc
-from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
-from repro.baselines.tric import TricConfig, run_tric
 from repro.core.config import CacheSpec, LCCConfig
-from repro.core.lcc import run_distributed_lcc
-from repro.core.tc import run_distributed_tc
-from repro.core.tc2d import run_distributed_tc_2d
 from repro.graph.datasets import dataset_names, load_dataset, DATASETS
 from repro.graph.io import read_edge_list
 from repro.graph.properties import degree_stats
+from repro.session import get_kernel, kernel_names, run_kernel
 from repro.utils.units import format_bytes, format_seconds
 
 
@@ -91,11 +92,24 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_kernels(args) -> int:
+    for name in kernel_names():
+        spec = get_kernel(name)
+        traits = []
+        if spec.resident:
+            traits.append("resident")
+        if spec.undirected_only:
+            traits.append("undirected-only")
+        suffix = f"  [{', '.join(traits)}]" if traits else ""
+        print(f"{name:12s} {spec.description}{suffix}")
+    return 0
+
+
 def cmd_lcc(args) -> int:
     g = _load_graph(args)
     args._graph_nbytes, args._graph_n = g.nbytes, g.n
     config = _make_config(args)
-    result = run_distributed_lcc(g, config)
+    result = run_kernel("lcc", g, config)
     payload = {
         "graph": g.name, "vertices": g.n, "edges": g.m,
         "nranks": args.nranks,
@@ -119,21 +133,20 @@ def cmd_lcc(args) -> int:
     return 0
 
 
+#: CLI algorithm names -> registered kernel names (kept for compatibility).
 ALGORITHMS = {
-    "async": lambda g, a: run_distributed_tc(g, LCCConfig(
-        nranks=a.nranks, threads=a.threads)),
-    "async-2d": lambda g, a: run_distributed_tc_2d(g, LCCConfig(
-        nranks=a.nranks, threads=a.threads)),
-    "tric": lambda g, a: run_tric(g, TricConfig(nranks=a.nranks)),
-    "disttc": lambda g, a: run_disttc(g, DistTCConfig(nranks=a.nranks)),
-    "mapreduce": lambda g, a: run_mapreduce_tc(g, MapReduceConfig(
-        nranks=a.nranks)),
+    "async": "tc",
+    "async-2d": "tc2d",
+    "tric": "tric",
+    "disttc": "disttc",
+    "mapreduce": "mapreduce",
 }
 
 
 def cmd_tc(args) -> int:
     g = _load_graph(args)
-    result = ALGORITHMS[args.algorithm](g, args)
+    config = LCCConfig(nranks=args.nranks, threads=args.threads)
+    result = run_kernel(ALGORITHMS[args.algorithm], g, config)
     payload = {
         "graph": g.name, "vertices": g.n, "edges": g.m,
         "algorithm": args.algorithm, "nranks": args.nranks,
@@ -141,6 +154,48 @@ def cmd_tc(args) -> int:
         "simulated_time_s": result.time,
         "simulated_time": format_seconds(result.time),
     }
+    _emit(args, payload)
+    return 0
+
+
+def cmd_run(args) -> int:
+    g = _load_graph(args)
+    args._graph_nbytes, args._graph_n = g.nbytes, g.n
+    config = _make_config(args)
+    spec = get_kernel(args.kernel)
+    if not spec.resident:
+        ignored = [flag for flag, used in (
+            ("--cache", args.cache != "none"),
+            ("--cache-bytes", args.cache_bytes is not None),
+            ("--method", args.method != "hybrid"),
+            ("--partition", args.partition != "block"),
+            ("--no-overlap", args.no_overlap),
+            ("--threads", args.threads != 12),
+        ) if used]
+        if ignored:
+            print(f"note: kernel {args.kernel!r} does not use "
+                  f"{', '.join(ignored)}; it only takes --nranks "
+                  "(and --buffer-capacity for tric)", file=sys.stderr)
+    opts = {}
+    if args.buffer_capacity is not None:
+        opts["buffer_capacity"] = args.buffer_capacity
+    result = run_kernel(args.kernel, g, config, **opts)
+    payload = {
+        "graph": g.name, "vertices": g.n, "edges": g.m,
+        "kernel": args.kernel, "nranks": args.nranks,
+        "triangles": result.global_triangles,
+        "simulated_time_s": result.time,
+        "simulated_time": format_seconds(result.time),
+        **{k: v for k, v in result.summary().items()
+           if k in ("comm_time", "comp_time", "hit_rate", "remote_fraction",
+                    "load_imbalance")},
+    }
+    if result.lcc is not None:
+        payload["mean_lcc"] = float(np.mean(result.lcc))
+    if result.adj_cache_stats:
+        payload["adj_hit_rate"] = result.adj_cache_stats["hit_rate"]
+    if result.offsets_cache_stats:
+        payload["offsets_hit_rate"] = result.offsets_cache_stats["hit_rate"]
     _emit(args, payload)
     return 0
 
@@ -162,8 +217,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--json", action="store_true")
 
+    def add_cluster_args(p):
+        p.add_argument("--nranks", type=int, default=8)
+        p.add_argument("--threads", type=int, default=12)
+        p.add_argument("--method", choices=["ssi", "binary", "hybrid"],
+                       default="hybrid")
+        p.add_argument("--partition", choices=["block", "cyclic"],
+                       default="block")
+        p.add_argument("--cache", choices=["none", "default", "degree", "lru"],
+                       default="none", help="eviction-score policy, or none")
+        p.add_argument("--cache-bytes", type=int, default=None,
+                       help="total cache budget (default: 2x graph size)")
+        p.add_argument("--no-overlap", action="store_true",
+                       help="disable double buffering")
+
     p = sub.add_parser("datasets", help="list dataset stand-ins")
     p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("kernels", help="list registered kernels")
+    p.set_defaults(fn=cmd_kernels)
 
     p = sub.add_parser("info", help="show graph properties")
     add_graph_args(p)
@@ -171,18 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lcc", help="distributed LCC on the simulated cluster")
     add_graph_args(p)
-    p.add_argument("--nranks", type=int, default=8)
-    p.add_argument("--threads", type=int, default=12)
-    p.add_argument("--method", choices=["ssi", "binary", "hybrid"],
-                   default="hybrid")
-    p.add_argument("--partition", choices=["block", "cyclic"],
-                   default="block")
-    p.add_argument("--cache", choices=["none", "default", "degree", "lru"],
-                   default="none", help="eviction-score policy, or none")
-    p.add_argument("--cache-bytes", type=int, default=None,
-                   help="total cache budget (default: 2x graph size)")
-    p.add_argument("--no-overlap", action="store_true",
-                   help="disable double buffering")
+    add_cluster_args(p)
     p.add_argument("--top", type=int, default=0,
                    help="print the top-K LCC vertices")
     p.add_argument("--output", help="write LCC scores to a .npy file")
@@ -195,6 +256,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                    default="async")
     p.set_defaults(fn=cmd_tc)
+
+    p = sub.add_parser("run", help="run any registered kernel by name")
+    add_graph_args(p)
+    add_cluster_args(p)
+    p.add_argument("--kernel", choices=kernel_names(), default="lcc",
+                   help="a kernel from the registry (see 'repro kernels')")
+    p.add_argument("--buffer-capacity", type=int, default=None,
+                   help="TriC-Buffered per-destination cap in bytes")
+    p.set_defaults(fn=cmd_run)
     return parser
 
 

@@ -2,24 +2,28 @@
 
 Quickstart::
 
-    from repro.core import compute_lcc, count_triangles, LCCConfig, CacheSpec
+    from repro import Session
+    from repro.core import LCCConfig, CacheSpec
     from repro.graph import load_dataset
 
     g = load_dataset("livejournal")
 
-    # Single node:
-    scores = compute_lcc(g)
-
-    # Simulated cluster of 16 nodes with the paper's cached configuration:
+    # One resident cluster, many queries (the Session API):
     cfg = LCCConfig(nranks=16, cache=CacheSpec.paper_split(2**24, g.n,
                                                            score="degree"))
-    result = compute_lcc(g, cfg)
+    with Session(g, cfg) as session:
+        result = session.run("lcc", keep_cache=True)   # cold caches
+        warm = session.run("lcc", keep_cache=True)     # reuse: higher hit rate
+        tc = session.run("tc")                         # same partitioned CSR
     print(result.time, result.summary())
+
+    # One-shot helpers (thin wrappers over a throwaway session):
+    from repro.core import compute_lcc
+    scores = compute_lcc(g)            # local, returns the score array
+    result = compute_lcc(g, cfg)       # distributed, full result object
 """
 
 from __future__ import annotations
-
-from typing import overload
 
 import numpy as np
 
@@ -42,14 +46,17 @@ def compute_lcc(graph: CSRGraph, config: LCCConfig | None = None
     """Local clustering coefficient of every vertex.
 
     Without a config this computes locally and returns the score array;
-    with a config it runs the distributed algorithm on the simulated
-    cluster and returns the full :class:`DistributedRunResult` (whose
-    ``.lcc`` attribute holds the same array, bit-identical to the local
-    computation).
+    with a config it runs the ``"lcc"`` kernel on a throwaway
+    :class:`~repro.session.Session` and returns the full
+    :class:`DistributedRunResult` (whose ``.lcc`` attribute holds the same
+    array, bit-identical to the local computation).  For repeated queries
+    over one graph, hold a :class:`~repro.session.Session` instead.
     """
     if config is None:
         return lcc_local(graph)
-    return run_distributed_lcc(graph, config)
+    from repro.session import run_kernel
+
+    return run_kernel("lcc", graph, config).raw
 
 
 def count_triangles(graph: CSRGraph, config: LCCConfig | None = None
@@ -57,9 +64,12 @@ def count_triangles(graph: CSRGraph, config: LCCConfig | None = None
     """Global triangle count (undirected) / transitive triads (directed).
 
     Without a config: a local count, returned as an int.  With a config:
-    the distributed edge-centric count with upper-triangle deduplication,
-    returned as a :class:`DistributedRunResult`.
+    the ``"tc"`` kernel (distributed edge-centric count with upper-triangle
+    deduplication) on a throwaway session, returned as a
+    :class:`DistributedRunResult`.
     """
     if config is None:
         return triangle_count_local(graph)
-    return run_distributed_tc(graph, config)
+    from repro.session import run_kernel
+
+    return run_kernel("tc", graph, config).raw

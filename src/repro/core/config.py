@@ -40,8 +40,10 @@ class CacheSpec:
     """How to size and drive the two CLaMPI caches.
 
     ``offsets_bytes`` / ``adj_bytes`` are **per rank**.  The paper's overall
-    configuration reserves a total budget and gives ``0.8 * |V|`` bytes to
-    ``C_offsets`` with the remainder to ``C_adj`` (Section IV-D2) — use
+    configuration reserves a total budget and sizes ``C_offsets`` to hold
+    the offset pairs of ``0.4 * |V|`` vertices — at 16 bytes per (start,
+    end) pair of int64 offsets that is ``6.4 * |V|`` bytes — with the
+    remainder of the budget going to ``C_adj`` (Section IV-D2); use
     :meth:`paper_split` for that.  ``score`` picks the eviction policy:
     ``"default"`` (LRU + positional), ``"degree"`` (the paper's extension)
     or ``"lru"``.
@@ -166,4 +168,6 @@ class DistributedRunResult:
         if self.offsets_cache_stats:
             s["offsets_hit_rate"] = self.offsets_cache_stats["hit_rate"]
             s["offsets_miss_rate"] = self.offsets_cache_stats["miss_rate"]
+            s["offsets_compulsory_miss_rate"] = self.offsets_cache_stats[
+                "compulsory_miss_rate"]
         return s

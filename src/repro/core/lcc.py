@@ -45,6 +45,30 @@ def make_partition(config: LCCConfig, n: int) -> Partition:
     raise ConfigError(f"unknown partition {config.partition!r}")
 
 
+def attach_caches(engine: Engine, dist: DistributedCSR, spec: CacheSpec,
+                  n_vertices: int) -> tuple[list, list]:
+    """Attach one ``C_offsets``/``C_adj`` pair per rank for ``spec``.
+
+    Returns ``(offsets_caches, adj_caches)``; either list is empty when the
+    corresponding capacity is zero.
+    """
+    policy = spec.make_policy()
+    offsets_caches: list = []
+    adj_caches: list = []
+    if spec.offsets_bytes > 0:
+        offsets_caches = attach_offset_caches(
+            engine.contexts, dist.w_offsets, spec.offsets_bytes,
+            mode=spec.mode, adaptive=spec.adaptive,
+        )
+    if spec.adj_bytes > 0:
+        adj_caches = attach_adjacency_caches(
+            engine.contexts, dist.w_adj, spec.adj_bytes,
+            mode=spec.mode, score_policy=policy,
+            n_vertices=n_vertices, adaptive=spec.adaptive,
+        )
+    return offsets_caches, adj_caches
+
+
 def setup_distributed(graph: CSRGraph, config: LCCConfig
                       ) -> tuple[Engine, DistributedCSR, list, list]:
     """Build engine + distributed CSR + (optional) caches for one run.
@@ -64,19 +88,8 @@ def setup_distributed(graph: CSRGraph, config: LCCConfig
     offsets_caches: list = []
     adj_caches: list = []
     if config.cache is not None:
-        spec = config.cache
-        policy = spec.make_policy()
-        if spec.offsets_bytes > 0:
-            offsets_caches = attach_offset_caches(
-                engine.contexts, dist.w_offsets, spec.offsets_bytes,
-                mode=spec.mode, adaptive=spec.adaptive,
-            )
-        if spec.adj_bytes > 0:
-            adj_caches = attach_adjacency_caches(
-                engine.contexts, dist.w_adj, spec.adj_bytes,
-                mode=spec.mode, score_policy=policy,
-                n_vertices=graph.n, adaptive=spec.adaptive,
-            )
+        offsets_caches, adj_caches = attach_caches(engine, dist,
+                                                   config.cache, graph.n)
     return engine, dist, offsets_caches, adj_caches
 
 
@@ -173,6 +186,20 @@ def run_distributed_lcc(graph: CSRGraph, config: LCCConfig | None = None
 
         return run_distributed_lcc_fast(graph, config)
     engine, dist, off_caches, adj_caches = setup_distributed(graph, config)
+    return execute_lcc(engine, dist, config, off_caches, adj_caches)
+
+
+def execute_lcc(engine: Engine, dist: DistributedCSR, config: LCCConfig,
+                off_caches: list = (), adj_caches: list = ()
+                ) -> DistributedRunResult:
+    """Run the LCC rank program on an already-built cluster.
+
+    The building block behind both :func:`run_distributed_lcc` (which
+    creates a throwaway cluster) and :class:`repro.session.Session` (which
+    keeps one cluster resident across queries).  Epochs must be open on
+    entry; they are closed on return.
+    """
+    graph = dist.graph
     omp = OpenMPModel(threads=config.threads, compute=config.compute,
                       wait_policy=config.wait_policy)
     tpv = np.zeros(graph.n, dtype=np.int64)

@@ -133,14 +133,21 @@ def simulate_rank_fast(graph: CSRGraph, dist: DistributedCSR,
     return trace
 
 
-def run_distributed_lcc_fast(graph: CSRGraph, config: LCCConfig
+def run_distributed_lcc_fast(graph: CSRGraph, config: LCCConfig,
+                             dist: DistributedCSR | None = None
                              ) -> DistributedRunResult:
-    """Non-cached distributed LCC via the closed-form path."""
+    """Non-cached distributed LCC via the closed-form path.
+
+    Pass a prebuilt ``dist`` (whose partition must match ``config``) to
+    skip the CSR split — :class:`repro.session.Session` reuses its resident
+    partitioned graph this way.
+    """
     from repro.core.lcc import make_partition
 
-    engine = Engine(config.nranks, network=config.network,
-                    memory=config.memory, compute=config.compute)
-    dist = DistributedCSR(graph, make_partition(config, graph.n), engine)
+    if dist is None:
+        engine = Engine(config.nranks, network=config.network,
+                        memory=config.memory, compute=config.compute)
+        dist = DistributedCSR(graph, make_partition(config, graph.n), engine)
     omp = OpenMPModel(threads=config.threads, compute=config.compute,
                       wait_policy=config.wait_policy)
 

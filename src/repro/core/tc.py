@@ -84,16 +84,32 @@ def _count_overlapped(ctx, dist, omp, method, a, uppers, deg) -> int:
     return total
 
 
-def run_distributed_tc(graph: CSRGraph, config: LCCConfig | None = None
-                       ) -> DistributedRunResult:
-    """Count all triangles of an undirected graph on the simulated cluster."""
+def require_undirected(graph: CSRGraph) -> None:
+    """Reject directed graphs with the triangle-counting error message."""
     if graph.directed:
         raise ConfigError(
             "global triangle counting expects an undirected graph; "
             "use run_distributed_lcc for directed transitive-triad analysis"
         )
+
+
+def run_distributed_tc(graph: CSRGraph, config: LCCConfig | None = None
+                       ) -> DistributedRunResult:
+    """Count all triangles of an undirected graph on the simulated cluster."""
+    require_undirected(graph)
     config = config or LCCConfig()
     engine, dist, off_caches, adj_caches = setup_distributed(graph, config)
+    return execute_tc(engine, dist, config, off_caches, adj_caches)
+
+
+def execute_tc(engine, dist: DistributedCSR, config: LCCConfig,
+               off_caches: list = (), adj_caches: list = ()
+               ) -> DistributedRunResult:
+    """Run the TC rank program on an already-built cluster.
+
+    Counterpart of :func:`repro.core.lcc.execute_lcc` for global triangle
+    counting; epochs must be open on entry and are closed on return.
+    """
     omp = OpenMPModel(threads=config.threads, compute=config.compute,
                       wait_policy=config.wait_policy)
     counts = np.zeros(config.nranks, dtype=np.int64)

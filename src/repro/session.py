@@ -1,0 +1,425 @@
+"""Resident-cluster sessions: one simulated cluster, many queries.
+
+The paper frames LCC/TC as repeated analytics over a graph that stays
+resident in a distributed cluster — the CLaMPI caches are valuable
+precisely because accesses repeat (the Figure 4 reuse study).  The legacy
+entry points (:func:`repro.core.lcc.run_distributed_lcc` and friends)
+rebuild the engine, the partitioned CSR and the caches on every call,
+discarding all warm state.  A :class:`Session` builds that cluster once
+and serves any number of queries against it::
+
+    from repro import Session
+    from repro.core import CacheSpec, LCCConfig
+    from repro.graph import load_dataset
+
+    g = load_dataset("livejournal")
+    cfg = LCCConfig(nranks=16, threads=12,
+                    cache=CacheSpec.paper_split(2 * g.nbytes, g.n))
+    with Session(g, cfg) as session:
+        first = session.run("lcc", keep_cache=True)   # cold caches
+        again = session.run("lcc", keep_cache=True)   # warm: higher hit rate
+        tc = session.run("tc")                        # same resident CSR
+        cells = session.sweep({                       # one partition, 3 runs
+            "ssi": {"method": "ssi"},
+            "binary": {"method": "binary"},
+            "hybrid": {"method": "hybrid"},
+        })
+
+Kernels are registered by name (``@register_kernel``); the built-ins are
+``lcc``, ``tc``, ``tc2d``, ``tric``, ``disttc`` and ``mapreduce``, and each
+produces results **bit-identical** to its legacy entry point (pinned by
+tests).  New workloads — per-vertex triangle queries, top-k LCC, anything
+expressible over the simulated cluster — plug in the same way::
+
+    @register_kernel("top5-lcc", description="five most clustered vertices")
+    def _top5(session, config, **opts):
+        res = session.run("lcc", config=config).raw
+        ...
+
+Every query starts with fresh virtual clocks and traces (a query's
+simulated time never includes a previous query's), but the partitioned CSR
+is shared, and with ``keep_cache=True`` the CLaMPI cache *contents* carry
+over so the second query onward benefits from the paper's reuse effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.baselines.disttc import DistTCConfig, run_disttc
+from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
+from repro.baselines.tric import TricConfig, run_tric
+from repro.clampi.stats import CacheStats
+from repro.core.config import CacheSpec, DistributedRunResult, LCCConfig
+from repro.core.lcc import attach_caches, execute_lcc, make_partition
+from repro.core.lcc_fast import run_distributed_lcc_fast
+from repro.core.tc import execute_tc, require_undirected
+from repro.core.tc2d import run_distributed_tc_2d
+from repro.graph.csr import CSRGraph
+from repro.graph.distributed import DistributedCSR
+from repro.runtime.engine import Engine
+from repro.runtime.trace import RankTrace
+from repro.utils.errors import KernelError
+
+__all__ = [
+    "KernelResult",
+    "KernelSpec",
+    "Session",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "run_kernel",
+    "unregister_kernel",
+]
+
+
+# ---------------------------------------------------------------------------
+# Kernel registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered kernel: a name, a runner and its traits.
+
+    ``resident`` kernels execute on the session's resident 1D cluster
+    (engine + partitioned CSR + caches); the others own their run's
+    cluster shape (2D grids, TriC's edge-balanced split, ...) and build it
+    per call, exactly like their legacy entry points.
+    """
+
+    name: str
+    fn: Callable[..., DistributedRunResult]
+    description: str = ""
+    resident: bool = False
+    undirected_only: bool = False
+
+
+_KERNELS: dict[str, KernelSpec] = {}
+
+
+def register_kernel(name: str, *, description: str = "",
+                    resident: bool = False, undirected_only: bool = False,
+                    overwrite: bool = False) -> Callable:
+    """Class-of-service decorator: make a function a named, runnable kernel.
+
+    The decorated function receives ``(session, config, **opts)`` and must
+    return a :class:`~repro.core.config.DistributedRunResult` (or any
+    object exposing the same surface).  Re-registering an existing name
+    raises unless ``overwrite=True``.
+    """
+    def decorator(fn: Callable) -> Callable:
+        if name in _KERNELS and not overwrite:
+            raise KernelError(
+                f"kernel {name!r} is already registered; pass overwrite=True "
+                "to replace it")
+        _KERNELS[name] = KernelSpec(name=name, fn=fn, description=description,
+                                    resident=resident,
+                                    undirected_only=undirected_only)
+        return fn
+    return decorator
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a registered kernel (plugin teardown / tests)."""
+    if name not in _KERNELS:
+        raise KernelError(f"kernel {name!r} is not registered")
+    del _KERNELS[name]
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a kernel by name; raises :class:`KernelError` when unknown."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown kernel {name!r}; registered kernels: "
+            f"{', '.join(kernel_names())}") from None
+
+
+def kernel_names() -> list[str]:
+    """Sorted names of every registered kernel."""
+    return sorted(_KERNELS)
+
+
+# ---------------------------------------------------------------------------
+# Uniform result type
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KernelResult:
+    """Uniform wrapper every ``Session.run`` returns.
+
+    ``raw`` is the kernel's native result (a
+    :class:`~repro.core.config.DistributedRunResult` for the built-ins);
+    every attribute of it — ``lcc``, ``time``, ``global_triangles``,
+    ``adj_cache_stats``, baseline extras like ``peak_buffer_bytes`` — is
+    reachable directly on this wrapper.
+    """
+
+    kernel: str
+    config: LCCConfig
+    raw: Any
+    reused_cluster: bool = False
+    warm_cache: bool = False
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_") or name == "raw":
+            raise AttributeError(name)
+        return getattr(self.raw, name)
+
+    def summary(self) -> dict[str, Any]:
+        """The underlying run summary, tagged with the kernel name."""
+        s = self.raw.summary()
+        s["kernel"] = self.kernel
+        return s
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+class Session:
+    """A simulated cluster held resident across queries.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve queries over.
+    config:
+        Default :class:`~repro.core.config.LCCConfig` for every query;
+        per-query overrides go through ``run(..., nranks=..., cache=...)``.
+
+    The engine and partitioned CSR are built lazily on the first resident
+    query and reused while the cluster-shaping knobs (``nranks``,
+    ``partition`` and the network/memory/compute models) stay unchanged;
+    ``partition_builds`` counts how often the CSR was split, which sweeps
+    assert stays at 1.
+    """
+
+    def __init__(self, graph: CSRGraph, config: LCCConfig | None = None):
+        self.graph = graph
+        self.config = config or LCCConfig()
+        self.partition_builds = 0
+        self.queries_run = 0
+        self._engine: Optional[Engine] = None
+        self._dist: Optional[DistributedCSR] = None
+        self._cluster_key: Any = None
+        self._off_caches: list = []
+        self._adj_caches: list = []
+        self._cache_spec: Optional[CacheSpec] = None
+        self._last_reused = False
+        self._last_warm = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the resident cluster (idempotent)."""
+        if self._dist is not None:
+            self._dist.close_epochs()
+        self._drop_caches()
+        self._engine = None
+        self._dist = None
+        self._cluster_key = None
+        self._closed = True
+
+    # -- queries ------------------------------------------------------------
+    def run(self, kernel: str, *, config: LCCConfig | None = None,
+            keep_cache: bool = False, **opts: Any) -> KernelResult:
+        """Execute one registered kernel against the session's cluster.
+
+        ``opts`` naming :class:`LCCConfig` fields (``nranks``, ``cache``,
+        ``method``, ...) override the session config for this query; the
+        rest are forwarded to the kernel (e.g. TriC's ``buffer_capacity``).
+        ``keep_cache=True`` preserves CLaMPI cache contents from the
+        previous query, reproducing the paper's reuse effect; statistics
+        are still per-query.
+        """
+        if self._closed:
+            raise KernelError("session is closed")
+        spec = get_kernel(kernel)
+        cfg = config or self.config
+        overrides = {k: opts.pop(k) for k in list(opts)
+                     if k in LCCConfig.__dataclass_fields__}
+        if overrides:
+            cfg = cfg.replace(**overrides)
+        self._last_reused = False
+        self._last_warm = False
+        raw = spec.fn(self, cfg, keep_cache=keep_cache, **opts)
+        self.queries_run += 1
+        return KernelResult(kernel=kernel, config=cfg, raw=raw,
+                            reused_cluster=self._last_reused,
+                            warm_cache=self._last_warm)
+
+    def sweep(self, variants: Mapping[str, Mapping[str, Any]], *,
+              kernel: str = "lcc", keep_cache: bool = False
+              ) -> dict[str, KernelResult]:
+        """Run many config variants, amortizing setup across all of them.
+
+        ``variants`` maps a variant name to its option dict (the same
+        options ``run`` accepts; a ``"kernel"`` key selects a kernel other
+        than the default).  Variants sharing a cluster shape reuse one
+        partitioned graph — ``partition_builds`` does not grow per variant.
+        """
+        results: dict[str, KernelResult] = {}
+        for name, options in variants.items():
+            opts = dict(options)
+            k = opts.pop("kernel", kernel)
+            kc = opts.pop("keep_cache", keep_cache)
+            results[name] = self.run(k, keep_cache=kc, **opts)
+        return results
+
+    # -- resident cluster ----------------------------------------------------
+    def resident_cluster(self, config: LCCConfig | None = None,
+                         keep_cache: bool = False, need_epochs: bool = True
+                         ) -> tuple[Engine, DistributedCSR, list, list]:
+        """Build or reuse the engine + partitioned CSR for ``config``.
+
+        Returns ``(engine, dist, offsets_caches, adj_caches)``.  This is
+        the hook custom resident kernels use: per-rank clocks and traces
+        are always reset so every query starts cold (simulated times match
+        a standalone run), while the CSR split — and, with
+        ``keep_cache=True``, the CLaMPI cache contents — are reused while
+        the cluster shape is unchanged.  Epochs are (re)opened unless
+        ``need_epochs=False``; kernels that issue RMA should call
+        ``dist.close_epochs()`` when done, as the built-ins do.
+        """
+        config = config or self.config
+        key = (config.nranks, config.partition, config.network,
+               config.memory, config.compute, config.record_ops)
+        rebuilt = self._engine is None or key != self._cluster_key
+        if rebuilt:
+            if self._dist is not None:
+                self._dist.close_epochs()
+            self._drop_caches()
+            engine = Engine(config.nranks, network=config.network,
+                            memory=config.memory, compute=config.compute,
+                            record_ops=config.record_ops)
+            self._dist = DistributedCSR(
+                self.graph, make_partition(config, self.graph.n), engine)
+            self._engine = engine
+            self._cluster_key = key
+            self.partition_builds += 1
+        engine, dist = self._engine, self._dist
+        for ctx in engine.contexts:
+            ctx.now = 0.0
+            ctx.trace = RankTrace(rank=ctx.rank, record_ops=config.record_ops)
+        if need_epochs:
+            # execute_lcc/execute_tc close epochs after each query.
+            for rank in range(engine.nranks):
+                for win in (dist.w_offsets, dist.w_adj):
+                    if not win.epoch_open(rank):
+                        win.lock_all(rank)
+        self._configure_caches(config, keep_cache, rebuilt)
+        self._last_reused = not rebuilt
+        return engine, dist, self._off_caches, self._adj_caches
+
+    def _configure_caches(self, config: LCCConfig, keep_cache: bool,
+                          rebuilt: bool) -> None:
+        spec = config.cache
+        if spec is None:
+            self._drop_caches()
+            return
+        warm = (keep_cache and not rebuilt and spec == self._cache_spec
+                and bool(self._off_caches or self._adj_caches))
+        if warm:
+            # Contents stay resident; statistics are per-query.
+            for cache in self._off_caches + self._adj_caches:
+                cache.stats = CacheStats()
+        else:
+            self._drop_caches()
+            self._off_caches, self._adj_caches = attach_caches(
+                self._engine, self._dist, spec, self.graph.n)
+        self._cache_spec = spec
+        self._last_warm = warm
+
+    def _drop_caches(self) -> None:
+        if self._engine is not None and self._dist is not None:
+            for ctx in self._engine.contexts:
+                ctx.detach_cache(self._dist.w_offsets)
+                ctx.detach_cache(self._dist.w_adj)
+        self._off_caches = []
+        self._adj_caches = []
+        self._cache_spec = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else (
+            "resident" if self._engine is not None else "idle")
+        return (f"Session(graph={self.graph.name or '?'}, {state}, "
+                f"queries={self.queries_run}, "
+                f"partition_builds={self.partition_builds})")
+
+
+def run_kernel(kernel: str, graph: CSRGraph,
+               config: LCCConfig | None = None, **opts: Any) -> KernelResult:
+    """One-shot convenience: run a single kernel on a throwaway session."""
+    with Session(graph, config) as session:
+        return session.run(kernel, **opts)
+
+
+# ---------------------------------------------------------------------------
+# Built-in kernels
+# ---------------------------------------------------------------------------
+
+@register_kernel("lcc", resident=True,
+                 description="asynchronous per-vertex LCC (Algorithm 3)")
+def _kernel_lcc(session: Session, config: LCCConfig, *,
+                keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    if config.fast_path and config.cache is None and not config.record_ops:
+        _, dist, _, _ = session.resident_cluster(config, keep_cache,
+                                                 need_epochs=False)
+        return run_distributed_lcc_fast(session.graph, config, dist=dist)
+    engine, dist, off, adj = session.resident_cluster(config, keep_cache)
+    return execute_lcc(engine, dist, config, off, adj)
+
+
+@register_kernel("tc", resident=True, undirected_only=True,
+                 description="asynchronous global triangle count")
+def _kernel_tc(session: Session, config: LCCConfig, *,
+               keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    require_undirected(session.graph)
+    engine, dist, off, adj = session.resident_cluster(config, keep_cache)
+    return execute_tc(engine, dist, config, off, adj)
+
+
+@register_kernel("tc2d", undirected_only=True,
+                 description="asynchronous 2D-grid triangle count")
+def _kernel_tc2d(session: Session, config: LCCConfig, *,
+                 keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    return run_distributed_tc_2d(session.graph, config)
+
+
+@register_kernel("tric",
+                 description="TriC baseline (blocking query/response rounds)")
+def _kernel_tric(session: Session, config: LCCConfig, *,
+                 keep_cache: bool = False, buffer_capacity: int | None = None,
+                 balanced: bool = True, **_: Any) -> DistributedRunResult:
+    return run_tric(session.graph, TricConfig(
+        nranks=config.nranks, buffer_capacity=buffer_capacity,
+        balanced=balanced, network=config.network, memory=config.memory,
+        compute=config.compute))
+
+
+@register_kernel("disttc", undirected_only=True,
+                 description="DistTC baseline (shadow-edge replication)")
+def _kernel_disttc(session: Session, config: LCCConfig, *,
+                   keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    return run_disttc(session.graph, DistTCConfig(
+        nranks=config.nranks, network=config.network, memory=config.memory,
+        compute=config.compute))
+
+
+@register_kernel("mapreduce", undirected_only=True,
+                 description="MapReduce wedge-check baseline")
+def _kernel_mapreduce(session: Session, config: LCCConfig, *,
+                      keep_cache: bool = False, **_: Any
+                      ) -> DistributedRunResult:
+    return run_mapreduce_tc(session.graph, MapReduceConfig(
+        nranks=config.nranks, network=config.network, memory=config.memory,
+        compute=config.compute))

@@ -40,6 +40,10 @@ class PartitionError(ReproError):
     """Graph partitioning error (vertex out of range, empty partition...)."""
 
 
+class KernelError(ReproError):
+    """Kernel-registry misuse (unknown name, duplicate registration...)."""
+
+
 class GraphFormatError(ReproError):
     """Malformed graph input (unsorted adjacency, duplicate edges...)."""
 

@@ -51,6 +51,20 @@ def test_link_recommendation(capsys):
     assert "shared friends" in out
 
 
+def test_session_queries(capsys):
+    run_example("session_queries.py")
+    out = capsys.readouterr().out
+    assert "per-vertex triangle queries" in out
+    assert "1 partitioning" in out
+
+
+def test_cache_tuning(capsys):
+    run_example("cache_tuning.py")
+    out = capsys.readouterr().out
+    assert "no cache:" in out
+    assert "runs amortized one partitioning" in out
+
+
 def test_dynamic_graph(capsys):
     run_example("dynamic_graph.py")
     out = capsys.readouterr().out
