@@ -1,0 +1,190 @@
+"""Registered-kernel benchmarks: the repo's recorded performance trajectory.
+
+``repro bench`` runs every registered kernel on standard generator graphs
+and writes ``BENCH_kernels.json``: real wall-clock seconds, simulated job
+time, triangle counts and cache hit rates, plus a ``cached_replay``
+section that measures the batched cache replay (:mod:`repro.core.replay`)
+against the per-edge scalar loop it replaced — cold (first query, mostly
+compulsory misses) and warm (the paper's reuse regime, a second
+``keep_cache=True`` query against the resident session cluster).
+
+The JSON is committed at the repo root so every PR leaves a perf data
+point behind; CI runs ``repro bench --quick`` as a smoke test and uploads
+the report as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from typing import Any, Mapping
+
+from repro.core.config import CacheSpec, LCCConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import powerlaw_configuration, rmat
+from repro.session import Session, get_kernel, kernel_names
+
+SCHEMA_VERSION = 1
+
+#: Cluster shape every benchmark cell runs with (also recorded in the
+#: report header, so trajectory comparisons across PRs stay labeled).
+BENCH_NRANKS = 8
+BENCH_THREADS = 4
+
+#: Keys every report carries (pinned by tests and downstream tooling).
+REPORT_KEYS = ("schema_version", "quick", "nranks", "threads",
+               "graphs", "kernels", "cached_replay")
+
+
+def bench_graphs(quick: bool = False) -> dict[str, CSRGraph]:
+    """Standard generator graphs the trajectory is recorded on.
+
+    ``quick`` shrinks them for CI smoke runs; the committed report uses
+    the full sizes so numbers stay comparable across PRs.
+    """
+    if quick:
+        return {
+            "powerlaw-s": powerlaw_configuration(384, 2400, seed=7),
+            "rmat-s8": rmat(8, 6, seed=7),
+        }
+    return {
+        "powerlaw-m": powerlaw_configuration(2048, 16000, seed=7),
+        "rmat-s10": rmat(10, 8, seed=7),
+    }
+
+
+def _bench_config(graph: CSRGraph, cached: bool, fast_path: bool = True
+                  ) -> LCCConfig:
+    cache = CacheSpec.relative(graph.nbytes, 0.5, 1.0) if cached else None
+    return LCCConfig(nranks=BENCH_NRANKS, threads=BENCH_THREADS, cache=cache,
+                     fast_path=fast_path)
+
+
+def _hit_rate(stats: Mapping[str, float] | None) -> float | None:
+    return None if stats is None else float(stats["hit_rate"])
+
+
+def bench_kernel(graph: CSRGraph, kernel: str) -> dict[str, Any]:
+    """One kernel, one graph: wall clock, simulated time, hit rates.
+
+    Resident kernels (lcc/tc) run cached through the batched replay; the
+    baselines run their own cluster shapes uncached, as in their papers.
+    """
+    cached = get_kernel(kernel).resident
+    with Session(graph, _bench_config(graph, cached)) as session:
+        t0 = time.perf_counter()
+        result = session.run(kernel)
+        wall = time.perf_counter() - t0
+    return {
+        "wall_clock_s": wall,
+        "simulated_time_s": float(result.time),
+        "global_triangles": int(result.global_triangles),
+        "adj_hit_rate": _hit_rate(result.adj_cache_stats),
+        "offsets_hit_rate": _hit_rate(result.offsets_cache_stats),
+    }
+
+
+def bench_cached_replay(graph: CSRGraph, kernel: str) -> dict[str, Any]:
+    """Batched replay vs. scalar loop on one cached kernel.
+
+    Cold is the first query on a fresh session (compulsory misses run
+    through the scalar cache path in both implementations); warm is a
+    second ``keep_cache=True`` query — the paper's reuse effect and the
+    regime the paper's cached figures live in.  ``bit_identical`` asserts
+    the two implementations produced the same clocks and cache statistics.
+    """
+    fast = Session(graph, _bench_config(graph, cached=True, fast_path=True))
+    loop = Session(graph, _bench_config(graph, cached=True, fast_path=False))
+    try:
+        t0 = time.perf_counter()
+        rf_cold = fast.run(kernel, keep_cache=True)
+        fast_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rl_cold = loop.run(kernel, keep_cache=True)
+        loop_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rf_warm = fast.run(kernel, keep_cache=True)
+        fast_warm = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rl_warm = loop.run(kernel, keep_cache=True)
+        loop_warm = time.perf_counter() - t0
+    finally:
+        fast.close()
+        loop.close()
+    identical = all(
+        rf.outcome.clocks == rl.outcome.clocks
+        and rf.adj_cache_stats == rl.adj_cache_stats
+        and rf.offsets_cache_stats == rl.offsets_cache_stats
+        for rf, rl in ((rf_cold, rl_cold), (rf_warm, rl_warm))
+    )
+    return {
+        "cold_wall_clock_loop_s": loop_cold,
+        "cold_wall_clock_batched_s": fast_cold,
+        "cold_speedup": loop_cold / fast_cold,
+        "warm_wall_clock_loop_s": loop_warm,
+        "warm_wall_clock_batched_s": fast_warm,
+        "warm_speedup": loop_warm / fast_warm,
+        "bit_identical": identical,
+        "adj_hit_rate": _hit_rate(rf_warm.adj_cache_stats),
+        "offsets_hit_rate": _hit_rate(rf_warm.offsets_cache_stats),
+    }
+
+
+def run_bench(quick: bool = False,
+              graphs: Mapping[str, CSRGraph] | None = None) -> dict[str, Any]:
+    """Produce the full report dict (see module docstring for the shape)."""
+    graphs = dict(graphs) if graphs is not None else bench_graphs(quick)
+    report: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "nranks": BENCH_NRANKS,
+        "threads": BENCH_THREADS,
+        "graphs": {name: {"vertices": g.n, "edges": g.m}
+                   for name, g in graphs.items()},
+        "kernels": {},
+        "cached_replay": {},
+    }
+    for gname, graph in graphs.items():
+        for kernel in kernel_names():
+            if get_kernel(kernel).undirected_only and graph.directed:
+                continue
+            try:
+                row = bench_kernel(graph, kernel)
+            except Exception as exc:
+                # Plugin kernels may need extra options or return a
+                # non-standard result; they don't belong in the recorded
+                # trajectory, so skip them loudly instead of failing.
+                print(f"bench: skipping kernel {kernel!r} on {gname!r}: "
+                      f"{exc}", file=sys.stderr)
+                continue
+            report["kernels"][f"{kernel}:{gname}"] = row
+        for kernel in ("lcc", "tc"):
+            report["cached_replay"][f"{kernel}:{gname}"] = \
+                bench_cached_replay(graph, kernel)
+    return report
+
+
+def check_report(report: Mapping[str, Any]) -> None:
+    """Schema sanity: required keys present, every number finite."""
+    for key in REPORT_KEYS:
+        if key not in report:
+            raise ValueError(f"bench report missing key {key!r}")
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, Mapping):
+            for k, v in node.items():
+                walk(v, f"{path}.{k}")
+        elif isinstance(node, float) and not math.isfinite(node):
+            raise ValueError(f"non-finite value at {path}: {node}")
+
+    walk(report, "report")
+
+
+def write_report(report: Mapping[str, Any], path: str) -> None:
+    """Validate and write the report as pretty-printed JSON."""
+    check_report(report)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -9,6 +9,7 @@
     python -m repro tc --input edges.txt --nranks 8 --algorithm tric
     python -m repro run livejournal --kernel tric --nranks 16
     python -m repro lcc orkut --json                 # machine-readable
+    python -m repro bench --json BENCH_kernels.json  # perf trajectory
 
 Every algorithm execution goes through the kernel registry
 (:mod:`repro.session`); ``run`` exposes any registered kernel by name,
@@ -200,6 +201,24 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.analysis.benchreport import run_bench, write_report
+
+    report = run_bench(quick=args.quick)
+    write_report(report, args.json)
+    for name, row in report["kernels"].items():
+        hit = row["adj_hit_rate"]
+        hit_s = f"  adj-hit {hit:.3f}" if hit is not None else ""
+        print(f"{name:22s} wall {row['wall_clock_s']:8.3f}s  "
+              f"simulated {row['simulated_time_s']:.6g}s{hit_s}")
+    for name, row in report["cached_replay"].items():
+        print(f"{name:22s} batched replay: cold {row['cold_speedup']:.1f}x, "
+              f"warm {row['warm_speedup']:.1f}x vs loop  "
+              f"(bit-identical: {row['bit_identical']})")
+    print(f"report written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
                    default="async")
     p.set_defaults(fn=cmd_tc)
+
+    p = sub.add_parser(
+        "bench", help="benchmark registered kernels; write BENCH_kernels.json")
+    p.add_argument("--quick", action="store_true",
+                   help="small graphs (CI smoke run)")
+    p.add_argument("--json", default="BENCH_kernels.json", metavar="PATH",
+                   help="report output path (default: BENCH_kernels.json)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("run", help="run any registered kernel by name")
     add_graph_args(p)

@@ -175,10 +175,11 @@ def run_distributed_lcc(graph: CSRGraph, config: LCCConfig | None = None
                         ) -> DistributedRunResult:
     """Run Algorithm 3 over the simulated cluster; returns scores + metrics.
 
-    Cache-less runs without op recording take the closed-form vectorized
-    path (:mod:`repro.core.lcc_fast`), which is pinned by tests to produce
-    identical clocks, traces and scores; pass ``fast_path=False`` to force
-    the per-edge loop.
+    Without op recording, runs take a vectorized path pinned by tests to
+    produce identical clocks, traces and scores: cache-less runs the
+    closed-form accounting (:mod:`repro.core.lcc_fast`), cached runs the
+    batched cache replay (:mod:`repro.core.replay`).  Pass
+    ``fast_path=False`` to force the per-edge loop.
     """
     config = config or LCCConfig()
     if config.fast_path and config.cache is None and not config.record_ops:
@@ -192,7 +193,25 @@ def run_distributed_lcc(graph: CSRGraph, config: LCCConfig | None = None
 def execute_lcc(engine: Engine, dist: DistributedCSR, config: LCCConfig,
                 off_caches: list = (), adj_caches: list = ()
                 ) -> DistributedRunResult:
-    """Run the LCC rank program on an already-built cluster.
+    """Run the LCC kernel on an already-built cluster (epochs open on entry).
+
+    Dispatches between two bit-identical implementations: the batched
+    replay (:mod:`repro.core.replay`) whenever ``config.fast_path`` is on
+    and op recording is off — cached runs included — and the per-edge loop
+    (:func:`execute_lcc_loop`) otherwise.
+    """
+    if config.fast_path and not config.record_ops:
+        from repro.core.replay import execute_lcc_batched
+
+        return execute_lcc_batched(engine, dist, config, off_caches,
+                                   adj_caches)
+    return execute_lcc_loop(engine, dist, config, off_caches, adj_caches)
+
+
+def execute_lcc_loop(engine: Engine, dist: DistributedCSR, config: LCCConfig,
+                     off_caches: list = (), adj_caches: list = ()
+                     ) -> DistributedRunResult:
+    """The per-edge loop implementation — the replay's reference oracle.
 
     The building block behind both :func:`run_distributed_lcc` (which
     creates a throwaway cluster) and :class:`repro.session.Session` (which

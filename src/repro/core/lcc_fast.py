@@ -1,9 +1,10 @@
 """Vectorized fast path for non-cached distributed LCC runs.
 
-The per-edge Python loop in :mod:`repro.core.lcc` is required when CLaMPI
-caches are attached (cache state is sequential by nature) or when op
-recording is on.  Without caches, however, a rank's simulated clock is a
-*closed-form* function of its edge list:
+The per-edge Python loop in :mod:`repro.core.lcc` is only required when op
+recording is on; cached runs are replayed in vectorized segments by
+:mod:`repro.core.replay` (the CLaMPI state machine batched between
+state-changing events).  Without caches the situation is even simpler — a
+rank's simulated clock is a *closed-form* function of its edge list:
 
 * per-edge communication: two gets (offsets pair + adjacency list) for
   remote neighbours, one DRAM read for local ones;

@@ -85,6 +85,23 @@ def triangles_per_vertex_batched(graph: CSRGraph) -> np.ndarray:
     return t
 
 
+def triangles_min_vertex(graph: CSRGraph) -> np.ndarray:
+    """Triangles counted at their smallest-id vertex (undirected graphs).
+
+    ``t[i] = |{(j, k) : i < j < k, all three edges present}|`` — exactly
+    the per-vertex contribution of the distributed TC kernel's
+    double-counting elimination (each triangle counted once, at the owner
+    of its minimum vertex).  With ``U`` the strictly-upper adjacency,
+    ``t = ((U U) ∘ U) · 1``: ``(U U)_ik`` counts paths ``i < j < k`` and
+    the Hadamard product keeps the closed ones.
+    """
+    if graph.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    u = sp.triu(_to_sparse(graph), k=1, format="csr")
+    prod = (u @ u).multiply(u)
+    return np.asarray(prod.sum(axis=1)).ravel().astype(np.int64)
+
+
 def triangles_per_vertex_local(graph: CSRGraph, method: str = "hybrid"
                                ) -> np.ndarray:
     """Kernel path: per-vertex triplet counts via explicit intersections."""

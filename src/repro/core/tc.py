@@ -105,10 +105,28 @@ def run_distributed_tc(graph: CSRGraph, config: LCCConfig | None = None
 def execute_tc(engine, dist: DistributedCSR, config: LCCConfig,
                off_caches: list = (), adj_caches: list = ()
                ) -> DistributedRunResult:
-    """Run the TC rank program on an already-built cluster.
+    """Run the TC kernel on an already-built cluster (epochs open on entry).
 
-    Counterpart of :func:`repro.core.lcc.execute_lcc` for global triangle
-    counting; epochs must be open on entry and are closed on return.
+    Like :func:`repro.core.lcc.execute_lcc`, dispatches to the batched
+    replay (:mod:`repro.core.replay`) when ``config.fast_path`` is on and
+    op recording is off, and to the per-edge loop otherwise.
+    """
+    if config.fast_path and not config.record_ops:
+        from repro.core.replay import execute_tc_batched
+
+        return execute_tc_batched(engine, dist, config, off_caches,
+                                  adj_caches)
+    return execute_tc_loop(engine, dist, config, off_caches, adj_caches)
+
+
+def execute_tc_loop(engine, dist: DistributedCSR, config: LCCConfig,
+                    off_caches: list = (), adj_caches: list = ()
+                    ) -> DistributedRunResult:
+    """The per-edge TC loop — the batched replay's reference oracle.
+
+    Counterpart of :func:`repro.core.lcc.execute_lcc_loop` for global
+    triangle counting; epochs must be open on entry and are closed on
+    return.
     """
     omp = OpenMPModel(threads=config.threads, compute=config.compute,
                       wait_policy=config.wait_policy)

@@ -50,6 +50,10 @@ class DistributedCSR:
         # Cache the per-rank local vertex id arrays (global ids).
         self._local_vertices = [partition.local_vertices(r)
                                 for r in range(engine.nranks)]
+        # Scratch for repro.core.replay: per-rank access streams and
+        # counting results, valid for this object's lifetime (the graph
+        # and partition are immutable once distributed).
+        self._replay_memo: dict = {}
 
     # -- epochs -------------------------------------------------------------
     def open_epochs(self) -> None:

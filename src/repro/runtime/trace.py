@@ -137,6 +137,23 @@ class RankTrace:
             if op.kind is OpKind.GET_REMOTE:
                 yield op
 
+    @classmethod
+    def from_totals(cls, rank: int, **totals: float) -> "RankTrace":
+        """Build a trace directly from aggregate counters.
+
+        Used by the closed-form/batched replay paths, which compute a
+        rank's totals without stepping through individual operations.
+        Unknown counter names are rejected so replay code cannot silently
+        drop a statistic.
+        """
+        trace = cls(rank=rank)
+        for name, value in totals.items():
+            if name not in cls.__dataclass_fields__ or name in (
+                    "rank", "record_ops", "ops"):
+                raise ValueError(f"unknown trace counter {name!r}")
+            setattr(trace, name, value)
+        return trace
+
     def merge_totals(self, other: "RankTrace") -> None:
         """Accumulate another trace's counters into this one (reporting)."""
         for attr in (

@@ -239,7 +239,9 @@ class Session:
         rest are forwarded to the kernel (e.g. TriC's ``buffer_capacity``).
         ``keep_cache=True`` preserves CLaMPI cache contents from the
         previous query, reproducing the paper's reuse effect; statistics
-        are still per-query.
+        are still per-query.  Cached lcc/tc queries run through the batched
+        cache replay (:mod:`repro.core.replay`) unless ``fast_path=False``
+        or ``record_ops=True`` forces the per-edge loop.
         """
         if self._closed:
             raise KernelError("session is closed")

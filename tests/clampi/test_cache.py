@@ -184,3 +184,56 @@ class TestResize:
             cnt = int(rng.integers(1, 12))
             cache.access(1, min(off, 255 - cnt), cnt)
         cache.check_invariants()
+
+
+class TestEvictionDeterminism:
+    """Victim sampling must be reproducible across process runs.
+
+    Each cache derives a private ``random.Random`` stream from its config
+    seed and rank through :func:`repro.utils.rng.derive_seed`; identical
+    configs therefore evict identically, run after run, machine after
+    machine (Python pins the Mersenne Twister across versions).
+    """
+
+    def _drive(self, cache):
+        rng = np.random.default_rng(9)
+        for _ in range(400):
+            off = int(rng.integers(0, 200))
+            cnt = int(rng.integers(1, 10))
+            cache.access(1, min(off, 255 - cnt), cnt)
+
+    def test_identical_configs_evict_identically(self):
+        a, _ = make_cache(capacity=512, nslots=16)
+        b, _ = make_cache(capacity=512, nslots=16)
+        self._drive(a)
+        self._drive(b)
+        assert a.stats.snapshot() == b.stats.snapshot()
+        assert sorted(a._key_pos) == sorted(b._key_pos)
+
+    def test_seed_changes_the_sampling_stream(self):
+        a, _ = make_cache(capacity=512, nslots=16, seed=1)
+        b, _ = make_cache(capacity=512, nslots=16, seed=2)
+        assert [a._rng.randrange(1000) for _ in range(8)] != \
+            [b._rng.randrange(1000) for _ in range(8)]
+
+    def test_sampling_stream_pinned_across_process_runs(self):
+        # Hard-coded expectations: a change to the seed derivation or to
+        # the per-instance RNG would silently change every cached
+        # experiment, so the exact stream is pinned here.
+        from repro.utils.rng import derive_seed
+
+        assert derive_seed(0x5EED, "clampi-evict", 0) == 5924032174864516661
+        assert derive_seed(0x5EED, "clampi-evict", 3) == 5924028876329632028
+        cache, _ = make_cache()
+        assert [cache._rng.randrange(1000) for _ in range(6)] == \
+            [535, 263, 983, 884, 258, 755]
+
+    def test_ranks_get_distinct_streams(self):
+        win = make_window()
+        win.lock_all(0)
+        win.lock_all(1)
+        cfg = ClampiConfig(capacity_bytes=4096, nslots=64)
+        r0 = ClampiCache(win, 0, cfg)
+        r1 = ClampiCache(win, 1, cfg)
+        assert [r0._rng.randrange(1000) for _ in range(8)] != \
+            [r1._rng.randrange(1000) for _ in range(8)]

@@ -1,0 +1,158 @@
+"""Pin the batched cache replay to the per-edge scalar loop, bit for bit.
+
+Every registered kernel, both CLaMPI consistency modes, cold and warm
+caches: ``fast_path=True`` (the batched replay of
+:mod:`repro.core.replay`) must produce a ``DistributedRunResult`` that is
+**bit-identical** to ``fast_path=False`` (the per-edge loop, kept
+importable as the reference oracle) — scores, virtual clocks, per-rank
+trace totals and cache statistics, with exact float equality, not
+tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clampi.cache import ConsistencyMode
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.lcc import execute_lcc_loop
+from repro.core.tc import execute_tc_loop
+from repro.graph.generators import powerlaw_configuration
+from repro.session import Session, kernel_names
+
+#: Undirected so every kernel (tc/tc2d/disttc/mapreduce included) runs.
+GRAPH = powerlaw_configuration(192, 1200, seed=11)
+DIRECTED = powerlaw_configuration(96, 480, seed=12, directed=True)
+
+MODES = [ConsistencyMode.ALWAYS_CACHE, ConsistencyMode.TRANSPARENT]
+
+INT_COUNTERS = ("n_remote_gets", "n_local_reads", "n_cache_hits", "n_puts",
+                "n_sends", "n_recvs", "n_barriers", "n_alltoallv",
+                "bytes_remote", "bytes_local", "bytes_cached", "bytes_sent",
+                "bytes_received")
+TIME_COUNTERS = ("comm_time", "comp_time", "sync_time", "cache_time")
+
+
+def make_spec(mode: ConsistencyMode) -> CacheSpec:
+    # Small enough to force evictions, so the replay's scalar fallback and
+    # its membership bookkeeping are exercised, not just pure-hit runs.
+    return CacheSpec(offsets_bytes=1536, adj_bytes=6144, mode=mode)
+
+
+def assert_bit_identical(loop, fast) -> None:
+    """Exact equality of two kernel results (no tolerances anywhere)."""
+    assert fast.global_triangles == loop.global_triangles
+    if loop.raw.lcc is None:
+        assert fast.raw.lcc is None
+    else:
+        np.testing.assert_array_equal(fast.raw.lcc, loop.raw.lcc)
+        np.testing.assert_array_equal(fast.raw.triangles_per_vertex,
+                                      loop.raw.triangles_per_vertex)
+    assert fast.outcome.time == loop.outcome.time
+    assert fast.outcome.clocks == loop.outcome.clocks
+    assert fast.outcome.results == loop.outcome.results
+    for ft, lt in zip(fast.outcome.traces, loop.outcome.traces):
+        for name in INT_COUNTERS:
+            assert getattr(ft, name) == getattr(lt, name), name
+        for name in TIME_COUNTERS:
+            assert getattr(ft, name) == getattr(lt, name), name
+    assert fast.raw.adj_cache_stats == loop.raw.adj_cache_stats
+    assert fast.raw.offsets_cache_stats == loop.raw.offsets_cache_stats
+
+
+class TestAllKernelsAllModes:
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("kernel", kernel_names())
+    def test_cold_and_warm_parity(self, kernel, mode):
+        spec = make_spec(mode)
+        kw = dict(nranks=4, threads=4, cache=spec)
+        with Session(GRAPH, LCCConfig(fast_path=True, **kw)) as fast_s, \
+                Session(GRAPH, LCCConfig(fast_path=False, **kw)) as loop_s:
+            cold_fast = fast_s.run(kernel, keep_cache=True)
+            cold_loop = loop_s.run(kernel, keep_cache=True)
+            assert_bit_identical(cold_loop, cold_fast)
+            warm_fast = fast_s.run(kernel, keep_cache=True)
+            warm_loop = loop_s.run(kernel, keep_cache=True)
+            assert_bit_identical(warm_loop, warm_fast)
+
+    def test_warm_cache_actually_reused(self):
+        # The warm leg above must exercise the reuse effect, not a flush.
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        with Session(GRAPH, LCCConfig(nranks=4, cache=spec)) as s:
+            first = s.run("lcc", keep_cache=True)
+            again = s.run("lcc", keep_cache=True)
+            assert again.warm_cache
+            assert again.adj_cache_stats["hit_rate"] > \
+                first.adj_cache_stats["hit_rate"]
+
+
+class TestMoreShapes:
+    @pytest.mark.parametrize("overlap", [True, False])
+    @pytest.mark.parametrize("partition", ["block", "cyclic"])
+    def test_lcc_partitions_and_overlap(self, partition, overlap):
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        kw = dict(nranks=6, threads=2, partition=partition, overlap=overlap,
+                  cache=spec)
+        with Session(GRAPH, LCCConfig(fast_path=True, **kw)) as fast_s, \
+                Session(GRAPH, LCCConfig(fast_path=False, **kw)) as loop_s:
+            assert_bit_identical(loop_s.run("lcc"), fast_s.run("lcc"))
+            assert_bit_identical(loop_s.run("tc"), fast_s.run("tc"))
+
+    def test_directed_lcc(self):
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        kw = dict(nranks=4, cache=spec)
+        with Session(DIRECTED, LCCConfig(fast_path=True, **kw)) as fast_s, \
+                Session(DIRECTED, LCCConfig(fast_path=False, **kw)) as loop_s:
+            assert_bit_identical(loop_s.run("lcc"), fast_s.run("lcc"))
+
+    def test_degree_score_policy(self):
+        spec = CacheSpec(offsets_bytes=1536, adj_bytes=6144, score="degree")
+        kw = dict(nranks=4, cache=spec)
+        with Session(GRAPH, LCCConfig(fast_path=True, **kw)) as fast_s, \
+                Session(GRAPH, LCCConfig(fast_path=False, **kw)) as loop_s:
+            assert_bit_identical(loop_s.run("lcc"), fast_s.run("lcc"))
+
+    def test_offsets_only_cache(self):
+        spec = CacheSpec(offsets_bytes=4096, adj_bytes=0)
+        kw = dict(nranks=4, cache=spec)
+        with Session(GRAPH, LCCConfig(fast_path=True, **kw)) as fast_s, \
+                Session(GRAPH, LCCConfig(fast_path=False, **kw)) as loop_s:
+            assert_bit_identical(loop_s.run("lcc"), fast_s.run("lcc"))
+
+
+class TestDispatch:
+    def test_fast_path_skips_loop(self, monkeypatch):
+        import repro.core.lcc as lcc_mod
+
+        def boom(*a, **kw):  # pragma: no cover - should never run
+            raise AssertionError("loop oracle must not run on the fast path")
+
+        monkeypatch.setattr(lcc_mod, "execute_lcc_loop", boom)
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        with Session(GRAPH, LCCConfig(nranks=4, cache=spec)) as s:
+            s.run("lcc")
+
+    def test_loop_oracle_skips_replay(self, monkeypatch):
+        import repro.core.replay as replay_mod
+
+        def boom(*a, **kw):  # pragma: no cover - should never run
+            raise AssertionError("replay must not run with fast_path=False")
+
+        monkeypatch.setattr(replay_mod, "execute_lcc_batched", boom)
+        monkeypatch.setattr(replay_mod, "execute_tc_batched", boom)
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        cfg = LCCConfig(nranks=4, cache=spec, fast_path=False)
+        with Session(GRAPH, cfg) as s:
+            s.run("lcc")
+            s.run("tc")
+
+    def test_record_ops_forces_loop_and_keeps_ops(self):
+        spec = make_spec(ConsistencyMode.ALWAYS_CACHE)
+        cfg = LCCConfig(nranks=2, cache=spec, record_ops=True)
+        with Session(GRAPH, cfg) as s:
+            res = s.run("lcc")
+        assert len(res.outcome.traces[0].ops) > 0
+
+    def test_loop_entry_points_importable(self):
+        # The reference oracles are part of the public surface.
+        assert callable(execute_lcc_loop)
+        assert callable(execute_tc_loop)

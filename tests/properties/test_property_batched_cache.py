@@ -1,0 +1,137 @@
+"""Property-based equivalence of ``access_batch`` and scalar ``access``.
+
+Twin caches (identical config, seed and window) are driven with the same
+random access stream — one through :meth:`ClampiCache.access_batch` in
+chunks, the other one access at a time.  Whatever the geometry, policy and
+stream, they must agree on every hit/miss verdict, every duration, the
+accumulated timing, the statistics, and both must pass
+``check_invariants()`` at every chunk boundary.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clampi.cache import BatchStream, ClampiCache, ClampiConfig
+from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy, LRUScorePolicy
+from repro.runtime.window import Window
+
+N = 96
+
+accesses = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1),       # target rank
+              st.integers(min_value=0, max_value=N - 9),   # offset
+              st.integers(min_value=1, max_value=8)),      # count
+    min_size=1, max_size=150,
+)
+
+geometries = st.tuples(
+    st.integers(min_value=48, max_value=1024),   # capacity bytes (tight)
+    st.integers(min_value=2, max_value=48),      # hash slots
+)
+
+policies = st.sampled_from(["default", "lru", "degree"])
+
+chunk_sizes = st.integers(min_value=1, max_value=40)
+
+
+def make_window() -> Window:
+    return Window("adj", [np.arange(N, dtype=np.int64),
+                          np.arange(5000, 5000 + N, dtype=np.int64)])
+
+
+def make_cache(window: Window, capacity: int, nslots: int,
+               policy_name: str) -> ClampiCache:
+    if policy_name == "degree":
+        cfg = ClampiConfig(capacity_bytes=capacity, nslots=nslots,
+                           score_policy=AppScorePolicy(),
+                           app_score_fn=lambda t, o, c, d: float(c))
+    else:
+        policy = (DefaultScorePolicy() if policy_name == "default"
+                  else LRUScorePolicy())
+        cfg = ClampiConfig(capacity_bytes=capacity, nslots=nslots,
+                           score_policy=policy)
+    return ClampiCache(window, 0, cfg)
+
+
+@given(accesses, geometries, policies, chunk_sizes)
+@settings(max_examples=100, deadline=None)
+def test_batch_equals_scalar(stream, geometry, policy, chunk):
+    capacity, nslots = geometry
+    window = make_window()
+    window.lock_all(0)
+    batched = make_cache(window, capacity, nslots, policy)
+    scalar = make_cache(window, capacity, nslots, policy)
+
+    keys = np.array(stream, dtype=np.int64)
+    for lo in range(0, keys.shape[0], chunk):
+        part = keys[lo:lo + chunk]
+        durations, hits = batched.access_batch(part[:, 0], part[:, 1],
+                                               part[:, 2])
+        for i, (t, o, c) in enumerate(part):
+            _, dt, hit = scalar.access(int(t), int(o), int(c))
+            assert hit == bool(hits[i]), (lo + i, (t, o, c))
+            assert dt == durations[i], (lo + i, (t, o, c))
+        # Timing sums and statistics agree at every chunk boundary...
+        assert batched.stats.mgmt_time == scalar.stats.mgmt_time
+        assert batched.stats.snapshot() == scalar.stats.snapshot()
+        assert len(batched) == len(scalar)
+        assert batched.used_bytes == scalar.used_bytes
+        # ...and both caches stay internally consistent.
+        batched.check_invariants()
+        scalar.check_invariants()
+
+    # Entry metadata (drives future evictions) must have tracked too.
+    for key in sorted(batched._key_pos):
+        be = batched.index.lookup(key)
+        se = scalar.index.lookup(key)
+        assert se is not None, key
+        assert be.last_access == se.last_access
+        assert be.n_accesses == se.n_accesses
+
+
+@given(accesses, geometries, policies)
+@settings(max_examples=40, deadline=None)
+def test_prebuilt_stream_replay(stream, geometry, policy):
+    """A shared BatchStream replayed twice matches two scalar passes."""
+    capacity, nslots = geometry
+    window = make_window()
+    window.lock_all(0)
+    batched = make_cache(window, capacity, nslots, policy)
+    scalar = make_cache(window, capacity, nslots, policy)
+
+    keys = np.array(stream, dtype=np.int64)
+    prepared = BatchStream(keys[:, 0], keys[:, 1], keys[:, 2])
+    for _ in range(2):  # second pass reuses the cache's per-stream memo
+        durations, hits = batched.access_batch(stream=prepared)
+        for i, (t, o, c) in enumerate(keys):
+            _, dt, hit = scalar.access(int(t), int(o), int(c))
+            assert hit == bool(hits[i])
+            assert dt == durations[i]
+        assert batched.stats.snapshot() == scalar.stats.snapshot()
+        batched.check_invariants()
+
+
+def test_batch_rejects_bad_shapes():
+    import pytest
+
+    from repro.utils.errors import CacheError
+
+    window = make_window()
+    window.lock_all(0)
+    cache = make_cache(window, 256, 8, "default")
+    with pytest.raises(CacheError):
+        cache.access_batch(np.zeros(3, dtype=np.int64),
+                           np.zeros(2, dtype=np.int64),
+                           np.zeros(3, dtype=np.int64))
+
+
+def test_empty_batch():
+    window = make_window()
+    window.lock_all(0)
+    cache = make_cache(window, 256, 8, "default")
+    durations, hits = cache.access_batch(np.zeros(0, dtype=np.int64),
+                                         np.zeros(0, dtype=np.int64),
+                                         np.zeros(0, dtype=np.int64))
+    assert durations.shape == hits.shape == (0,)
+    assert cache.stats.accesses == 0

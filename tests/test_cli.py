@@ -79,3 +79,56 @@ class TestTc:
                   "--algorithm", algorithm, "--json"])
             counts.add(json.loads(capsys.readouterr().out)["triangles"])
         assert len(counts) == 1
+
+
+class TestKernels:
+    def test_lists_every_registered_kernel(self, capsys):
+        from repro.session import kernel_names
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in kernel_names():
+            assert name in out
+        assert "resident" in out  # traits are shown
+
+    def test_run_unknown_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "skitter", "--scale", "0.2", "--kernel", "nope"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_run_unknown_dataset_rejected(self):
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown dataset"):
+            main(["run", "no-such-dataset", "--kernel", "lcc"])
+
+    def test_run_without_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--kernel", "lcc"])
+
+
+class TestBench:
+    def test_bench_json_round_trip(self, tmp_path, capsys):
+        from repro.analysis.benchreport import REPORT_KEYS, check_report
+
+        out_file = tmp_path / "BENCH_kernels.json"
+        assert main(["bench", "--quick", "--json", str(out_file)]) == 0
+        assert out_file.exists()
+        report = json.loads(out_file.read_text())
+        for key in REPORT_KEYS:
+            assert key in report
+        check_report(report)  # raises on any non-finite value
+        assert report["quick"] is True
+        # Every kernel × graph cell records wall clock + simulated time.
+        assert report["kernels"]
+        for row in report["kernels"].values():
+            assert row["wall_clock_s"] > 0
+            assert row["simulated_time_s"] > 0
+        # The cached-replay section proves the fast path stayed exact.
+        assert report["cached_replay"]
+        for row in report["cached_replay"].values():
+            assert row["bit_identical"] is True
+            assert row["warm_speedup"] > 0
+        out = capsys.readouterr().out
+        assert "batched replay" in out
