@@ -1,7 +1,6 @@
 """Micro-benchmarks of the simulated runtime primitives."""
 
 import numpy as np
-import pytest
 
 from repro.runtime.engine import Engine
 from repro.runtime.window import Window

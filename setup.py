@@ -1,4 +1,8 @@
-"""Shim for legacy editable installs (environments without the wheel package)."""
+"""Shim for legacy tooling; all metadata lives in pyproject.toml.
+
+``python -m build --sdist`` / ``pip install .`` read the src-layout
+package discovery, console script and dynamic version from there.
+"""
 from setuptools import setup
 
 setup()

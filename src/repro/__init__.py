@@ -34,10 +34,11 @@ Subpackages: :mod:`repro.runtime` (simulated MPI/RMA), :mod:`repro.clampi`
 :mod:`repro.core` (the paper's algorithms), :mod:`repro.baselines`
 (TriC, DistTC, MapReduce), :mod:`repro.analysis` (the experiment harness
 regenerating every table and figure); :mod:`repro.session` (the
-resident-cluster query API).
+resident-cluster query API); :mod:`repro.serve` (multi-tenant query
+serving with cache-affinity scheduling over a bounded session pool).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.session import (  # noqa: E402
     KernelResult,

@@ -166,9 +166,10 @@ def run_bench(quick: bool = False,
     return report
 
 
-def check_report(report: Mapping[str, Any]) -> None:
+def check_report(report: Mapping[str, Any],
+                 required_keys: tuple[str, ...] = REPORT_KEYS) -> None:
     """Schema sanity: required keys present, every number finite."""
-    for key in REPORT_KEYS:
+    for key in required_keys:
         if key not in report:
             raise ValueError(f"bench report missing key {key!r}")
 
@@ -182,9 +183,88 @@ def check_report(report: Mapping[str, Any]) -> None:
     walk(report, "report")
 
 
-def write_report(report: Mapping[str, Any], path: str) -> None:
+def write_report(report: Mapping[str, Any], path: str,
+                 required_keys: tuple[str, ...] = REPORT_KEYS) -> None:
     """Validate and write the report as pretty-printed JSON."""
-    check_report(report)
+    check_report(report, required_keys)
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# The CI regression gate (``repro bench --check``)
+# ---------------------------------------------------------------------------
+
+#: Fraction of the baseline's per-kernel worst warm speedup a fresh run
+#: must retain.  Deliberately loose: the committed baseline is recorded on
+#: full-size graphs while CI measures ``--quick`` sizes on noisy shared
+#: runners — the gate exists to catch the fast path silently degrading to
+#: loop speed (ratio ~0.1) or losing exactness, not 10% wall-clock jitter.
+DEFAULT_CHECK_TOLERANCE = 0.25
+
+
+def _min_warm_speedups(report: Mapping[str, Any]) -> dict[str, float]:
+    """Per-kernel minimum warm speedup across that report's graphs."""
+    mins: dict[str, float] = {}
+    for key, row in report.get("cached_replay", {}).items():
+        kernel = key.split(":", 1)[0]
+        speedup = float(row["warm_speedup"])
+        mins[kernel] = min(mins.get(kernel, math.inf), speedup)
+    return mins
+
+
+def check_against_baseline(report: Mapping[str, Any],
+                           baseline: Mapping[str, Any], *,
+                           tolerance: float = DEFAULT_CHECK_TOLERANCE
+                           ) -> list[str]:
+    """Compare a fresh bench report against the committed baseline.
+
+    Returns human-readable problems (empty list means the gate passes):
+
+    * every ``cached_replay`` row of the fresh report must be
+      ``bit_identical`` — the batched replay may never drift from the
+      per-edge loop oracle;
+    * for each kernel the baseline records, the fresh report's worst warm
+      loop-vs-batched speedup must stay above ``tolerance`` times the
+      baseline's — the warm fast path must not silently regress.
+
+    Graph names are *not* matched across reports (CI runs ``--quick``
+    sizes against the committed full-size baseline); the per-kernel
+    minimum is the contract.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    problems = []
+    replay = report.get("cached_replay", {})
+    if not replay:
+        problems.append("fresh report has no cached_replay section")
+    if not baseline.get("cached_replay"):
+        problems.append(
+            "baseline has no cached_replay section (is --check pointed at "
+            "a BENCH_kernels.json?)")
+    for key, row in replay.items():
+        if not row.get("bit_identical", False):
+            problems.append(
+                f"{key}: batched replay is no longer bit-identical to the "
+                "per-edge loop")
+    fresh = _min_warm_speedups(report)
+    for kernel, floor in sorted(_min_warm_speedups(baseline).items()):
+        if kernel not in fresh:
+            problems.append(
+                f"kernel {kernel!r} present in the baseline but missing "
+                "from the fresh report")
+            continue
+        threshold = tolerance * floor
+        if fresh[kernel] < threshold:
+            problems.append(
+                f"{kernel}: warm speedup {fresh[kernel]:.2f}x fell below "
+                f"{threshold:.2f}x ({tolerance:.0%} of the baseline's "
+                f"{floor:.2f}x)")
+    return problems
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Read a committed report back (the ``--check`` baseline)."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -138,7 +138,7 @@ def ablate_2d_partition(scale: float, seed: int) -> Table:
 def ablate_score_policies(scale: float, seed: int) -> Table:
     """Extended eviction scores (future work iii)."""
     from repro.clampi.scores_ext import EXTENDED_POLICIES
-    from repro.clampi.wrapper import attach_adjacency_caches, degree_app_score
+    from repro.clampi.wrapper import degree_app_score
     from repro.core.lcc import setup_distributed
 
     g = load_dataset("rmat-s20-ef16", scale=scale, seed=seed)

@@ -8,7 +8,6 @@ read tens of times — the reuse the RMA cache exploits.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.reuse import remote_read_counts, repetition_histogram
 from repro.analysis.tables import Table

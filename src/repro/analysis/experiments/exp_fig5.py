@@ -9,7 +9,6 @@ binned degree -> (accesses, entry size) profile.
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.stats as stats
 
 from repro.analysis.reuse import fig5_scatter

@@ -9,10 +9,8 @@ the compulsory-miss floor is reported alongside (the grey band).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.tables import Table
-from repro.clampi.wrapper import attach_adjacency_caches
 from repro.core.config import LCCConfig
 from repro.core.lcc import run_distributed_lcc
 from repro.graph.datasets import load_dataset

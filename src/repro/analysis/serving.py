@@ -1,0 +1,139 @@
+"""Serving benchmark: FIFO vs cache-affinity scheduling, recorded.
+
+``repro serve --bench`` (and :func:`run_serving_bench`) replays the same
+deterministic multi-tenant workload through both schedulers, on the
+Zipf-skewed popularity the paper targets and on the uniform contrast, and
+writes ``BENCH_serve.json`` at the repo root.  The committed report is
+the serving layer's trajectory point: it must show
+
+* **bit-identical per-query answers** between schedulers (scheduling
+  changes order and timing, never results), and
+* the **cache-affinity scheduler beating FIFO on aggregate throughput**
+  for the skewed workload — the paper's per-query reuse effect turned
+  into a system-level win.
+
+The simulated numbers (throughput, latency, warm fractions, pool churn)
+are deterministic for a given seed; only the ``wall_clock_s`` fields vary
+across machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.analysis.benchreport import write_report
+from repro.serve.engine import ServeConfig, ServingEngine, answers_identical
+from repro.serve.scheduler import make_scheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+
+SERVE_SCHEMA_VERSION = 1
+
+#: Keys every serving report carries (pinned by tests and the CLI).
+SERVE_REPORT_KEYS = ("schema_version", "quick", "serve_config", "catalog",
+                     "workloads")
+
+#: The two popularity regimes the committed report contrasts.
+WORKLOAD_NAMES = ("zipf", "uniform")
+
+
+def bench_workload_spec(graphs: tuple[str, ...],
+                        quick: bool = False) -> WorkloadSpec:
+    """The recorded workload: saturating Poisson traffic, Zipf popularity."""
+    if quick:
+        return WorkloadSpec(n_queries=48, arrival_rate=2000.0, n_tenants=8,
+                            graphs=graphs, seed=7)
+    return WorkloadSpec(n_queries=240, arrival_rate=2000.0, n_tenants=16,
+                        graphs=graphs, seed=7)
+
+
+def bench_serve_config() -> ServeConfig:
+    """Contended pool: fewer resident slots than distinct session keys."""
+    return ServeConfig(nranks=8, threads=4, pool_capacity=3)
+
+
+def run_serving_bench(quick: bool = False,
+                      schedulers: tuple[str, ...] = ("fifo", "affinity")
+                      ) -> dict[str, Any]:
+    """Produce the full serving report dict (see module docstring)."""
+    catalog = default_catalog(scale=0.4 if quick else 1.0)
+    config = bench_serve_config()
+    spec = bench_workload_spec(tuple(catalog), quick)
+    report: dict[str, Any] = {
+        "schema_version": SERVE_SCHEMA_VERSION,
+        "quick": quick,
+        "serve_config": {
+            "nranks": config.nranks,
+            "threads": config.threads,
+            "pool_capacity": config.pool_capacity,
+            "pool_policy": config.pool_policy,
+        },
+        "catalog": {name: {"vertices": g.n, "edges": g.m}
+                    for name, g in catalog.items()},
+        "workloads": {},
+    }
+    for wname in WORKLOAD_NAMES:
+        wspec = spec if wname == "zipf" else spec.uniform()
+        requests = generate_workload(wspec)
+        outcomes = {}
+        for sname in schedulers:
+            engine = ServingEngine(catalog, config, make_scheduler(sname))
+            outcomes[sname] = engine.serve(requests)
+        row: dict[str, Any] = {
+            "n_queries": wspec.n_queries,
+            "arrival_rate_qps": wspec.arrival_rate,
+            "n_tenants": wspec.n_tenants,
+            "tenant_skew": wspec.tenant_skew,
+            "graph_skew": wspec.graph_skew,
+            "seed": wspec.seed,
+            "schedulers": {s: o.aggregates for s, o in outcomes.items()},
+        }
+        if "fifo" in outcomes and "affinity" in outcomes:
+            fifo, aff = outcomes["fifo"], outcomes["affinity"]
+            row["results_identical"] = answers_identical(fifo, aff)
+            row["throughput_ratio"] = (
+                aff.aggregates["throughput_qps"]
+                / fifo.aggregates["throughput_qps"])
+            row["latency_mean_ratio"] = (
+                aff.aggregates["latency_mean_s"]
+                / fifo.aggregates["latency_mean_s"])
+        report["workloads"][wname] = row
+    return report
+
+
+def check_serve_report(report: Mapping[str, Any]) -> list[str]:
+    """The serving regression gate: what must hold for a committed report.
+
+    Returns a list of human-readable problems (empty means the report
+    passes): per-query answers must be bit-identical between schedulers,
+    and cache-affinity must beat FIFO on aggregate throughput for the
+    Zipf-skewed workload.
+    """
+    problems = []
+    for key in SERVE_REPORT_KEYS:
+        if key not in report:
+            problems.append(f"serving report missing key {key!r}")
+    workloads = report.get("workloads", {})
+    for wname in WORKLOAD_NAMES:
+        if wname not in workloads:
+            problems.append(f"serving report missing workload {wname!r}")
+    for wname, row in workloads.items():
+        if row.get("results_identical") is not True:
+            problems.append(
+                f"{wname}: per-query answers are not proven identical "
+                "between schedulers (both fifo and affinity must run)")
+    ratio = workloads.get("zipf", {}).get("throughput_ratio")
+    if ratio is None:
+        problems.append("zipf: no affinity-vs-fifo throughput_ratio recorded")
+    elif ratio <= 1.0:
+        problems.append(
+            f"zipf: cache-affinity throughput ratio {ratio:.3f} <= 1.0 "
+            "(must beat FIFO on the skewed workload)")
+    return problems
+
+
+def write_serve_report(report: Mapping[str, Any], path: str) -> None:
+    """Gate-check, schema-check and write the serving report."""
+    problems = check_serve_report(report)
+    if problems:
+        raise ValueError("; ".join(problems))
+    write_report(report, path, required_keys=SERVE_REPORT_KEYS)

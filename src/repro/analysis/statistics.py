@@ -16,7 +16,6 @@ module provides the same estimators:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 

@@ -7,7 +7,7 @@ reports a comparable number, so shape deviations are visible at a glance.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 
 class Table:

@@ -10,7 +10,6 @@ in about a minute.
 
 from __future__ import annotations
 
-import sys
 import time
 from dataclasses import dataclass
 from typing import Callable

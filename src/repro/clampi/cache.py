@@ -39,7 +39,7 @@ from repro.runtime.network import MemoryModel, NetworkModel
 from repro.runtime.window import Window
 from repro.utils.errors import CacheError
 from repro.utils.rng import derive_seed
-from repro.utils.units import NS, US
+from repro.utils.units import NS
 
 #: Sentinel appended to the batch event log when the whole cache was
 #: emptied mid-batch (flush / adaptive resize), as opposed to a single

@@ -8,7 +8,7 @@ accounting for communication-volume reductions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

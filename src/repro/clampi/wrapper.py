@@ -28,7 +28,7 @@ from repro.clampi.cache import (
     ClampiConfig,
     ConsistencyMode,
 )
-from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy, ScorePolicy
+from repro.clampi.scores import DefaultScorePolicy, ScorePolicy
 from repro.runtime.context import SimContext
 from repro.runtime.window import Window
 

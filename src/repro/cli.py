@@ -202,8 +202,18 @@ def cmd_run(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.analysis.benchreport import run_bench, write_report
+    from repro.analysis.benchreport import (
+        DEFAULT_CHECK_TOLERANCE,
+        check_against_baseline,
+        load_report,
+        run_bench,
+        write_report,
+    )
 
+    # Load the baseline up front: --json defaults to the committed baseline
+    # path, so writing first would make --check compare the fresh report
+    # against itself (and destroy the baseline before it was ever read).
+    baseline = load_report(args.check) if args.check else None
     report = run_bench(quick=args.quick)
     write_report(report, args.json)
     for name, row in report["kernels"].items():
@@ -216,6 +226,105 @@ def cmd_bench(args) -> int:
               f"warm {row['warm_speedup']:.1f}x vs loop  "
               f"(bit-identical: {row['bit_identical']})")
     print(f"report written to {args.json}", file=sys.stderr)
+    if baseline is not None:
+        tolerance = (DEFAULT_CHECK_TOLERANCE if args.check_tolerance is None
+                     else args.check_tolerance)
+        problems = check_against_baseline(
+            report, baseline, tolerance=tolerance)
+        if problems:
+            for problem in problems:
+                print(f"bench check: {problem}", file=sys.stderr)
+            print(f"bench check FAILED against baseline {args.check}",
+                  file=sys.stderr)
+            return 1
+        print(f"bench check OK against baseline {args.check}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.analysis.serving import run_serving_bench, write_serve_report
+    from repro.serve import (
+        ServeConfig,
+        ServingEngine,
+        WorkloadSpec,
+        default_catalog,
+        generate_workload,
+        make_scheduler,
+    )
+    from repro.serve.engine import answers_identical
+
+    if args.bench:
+        ignored = [flag for flag, is_default in (
+            ("--queries", args.queries == 120),
+            ("--rate", args.rate == 2000.0),
+            ("--tenants", args.tenants == 12),
+            ("--skew", args.skew == "zipf"),
+            ("--scheduler", args.scheduler == "both"),
+            ("--pool-capacity", args.pool_capacity == 3),
+            ("--pool-policy", args.pool_policy == "lru"),
+            ("--max-batch", args.max_batch == 16),
+            ("--nranks", args.nranks == 8),
+            ("--threads", args.threads == 4),
+            ("--catalog-scale", args.catalog_scale == 0.5),
+            ("--seed", args.seed == 0),
+        ) if not is_default]
+        if ignored:
+            # The recorded benchmark is only comparable across PRs if its
+            # workload/config are pinned; refuse to record a baseline the
+            # flags suggest the user thinks they customized.
+            raise SystemExit(
+                f"serve --bench uses the pinned benchmark workload/config; "
+                f"{', '.join(ignored)} would be ignored — drop them (or run "
+                "without --bench for a one-off configurable run)")
+        report = run_serving_bench(quick=args.quick)
+        write_serve_report(report, args.bench)
+        for wname, row in report["workloads"].items():
+            for sname, agg in row["schedulers"].items():
+                print(f"{wname:8s} {sname:9s} "
+                      f"throughput {agg['throughput_qps']:9.1f} q/s  "
+                      f"p95 latency {agg['latency_p95_s']:.4f}s  "
+                      f"warm {agg['warm_fraction']:.2f}  "
+                      f"builds {agg['session_builds']}")
+            print(f"{wname:8s} affinity/fifo throughput "
+                  f"{row['throughput_ratio']:.2f}x  "
+                  f"(answers identical: {row['results_identical']})")
+        print(f"serving report written to {args.bench}", file=sys.stderr)
+        return 0
+
+    catalog = default_catalog(scale=args.catalog_scale)
+    spec = WorkloadSpec(n_queries=args.queries, arrival_rate=args.rate,
+                        n_tenants=args.tenants, graphs=tuple(catalog),
+                        seed=args.seed)
+    if args.skew == "uniform":
+        spec = spec.uniform()
+    requests = generate_workload(spec)
+    config = ServeConfig(nranks=args.nranks, threads=args.threads,
+                         pool_capacity=args.pool_capacity,
+                         pool_policy=args.pool_policy)
+    names = (("fifo", "affinity") if args.scheduler == "both"
+             else (args.scheduler,))
+    outcomes = {}
+    for name in names:
+        opts = {"max_batch": args.max_batch} if name == "affinity" else {}
+        engine = ServingEngine(catalog, config, make_scheduler(name, **opts))
+        outcomes[name] = engine.serve(requests)
+    payload = {
+        "queries": spec.n_queries, "tenants": spec.n_tenants,
+        "arrival_rate_qps": spec.arrival_rate, "skew": args.skew,
+        "catalog": ",".join(catalog), "pool_capacity": config.pool_capacity,
+        "pool_policy": config.pool_policy, "seed": spec.seed,
+    }
+    for name, outcome in outcomes.items():
+        payload.update({f"{name}_{k}": v
+                        for k, v in outcome.aggregates.items()})
+    if len(outcomes) == 2:
+        fifo, aff = outcomes["fifo"], outcomes["affinity"]
+        payload["results_identical"] = answers_identical(fifo, aff)
+        payload["throughput_ratio"] = (
+            aff.aggregates["throughput_qps"]
+            / fifo.aggregates["throughput_qps"])
+    _emit(args, payload)
     return 0
 
 
@@ -282,7 +391,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small graphs (CI smoke run)")
     p.add_argument("--json", default="BENCH_kernels.json", metavar="PATH",
                    help="report output path (default: BENCH_kernels.json)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="regression gate: fail if the fresh run is not "
+                        "bit-identical or its warm speedups drop below "
+                        "tolerance x this committed baseline report")
+    p.add_argument("--check-tolerance", type=float, default=None,
+                   metavar="FRACTION",
+                   help="fraction of the baseline's per-kernel worst warm "
+                        "speedup the fresh run must retain (default: 0.25)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant query serving over a pool of resident sessions")
+    p.add_argument("--queries", type=int, default=120,
+                   help="number of queries in the synthetic workload")
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="aggregate Poisson arrival rate (simulated q/s)")
+    p.add_argument("--tenants", type=int, default=12)
+    p.add_argument("--skew", choices=["zipf", "uniform"], default="zipf",
+                   help="tenant/graph popularity (zipf is the paper's regime)")
+    p.add_argument("--scheduler", choices=["fifo", "affinity", "both"],
+                   default="both")
+    p.add_argument("--pool-capacity", type=int, default=3,
+                   help="max resident sessions (contention knob)")
+    p.add_argument("--pool-policy", choices=["lru", "lfu"], default="lru")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="affinity anti-starvation: max consecutive "
+                        "same-session queries")
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--catalog-scale", type=float, default=0.5,
+                   help="shrink/grow the serving graph catalog")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="record the FIFO-vs-affinity serving benchmark "
+                        "(BENCH_serve.json) instead of a one-off run")
+    p.add_argument("--quick", action="store_true",
+                   help="small --bench sizes (CI smoke run)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("run", help="run any registered kernel by name")
     add_graph_args(p)

@@ -24,7 +24,6 @@ from repro.runtime.compute import ComputeModel
 from repro.runtime.engine import RunOutcome
 from repro.runtime.network import MemoryModel, NetworkModel
 from repro.utils.errors import ConfigError
-from repro.utils.units import GiB
 
 
 #: Score policies selectable by name in CacheSpec.

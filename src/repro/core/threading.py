@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.runtime.compute import ComputeModel
-from repro.utils.units import NS, US
+from repro.utils.units import US
 from repro.utils.validation import require_in_range, require_positive
 
 

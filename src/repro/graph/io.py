@@ -7,7 +7,6 @@ binary for round-tripping generated datasets.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 
 import numpy as np

@@ -19,7 +19,7 @@ why the async algorithm can be simulated rank-by-rank.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Protocol, Sequence
+from typing import Any, Protocol, Sequence
 
 import numpy as np
 

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import inspect
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.runtime.collectives import CollectiveState
 from repro.runtime.compute import ComputeModel

@@ -20,7 +20,7 @@ Two practical details from the paper are modelled explicitly:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.units import GiB, KiB, MiB, NS, US
 from repro.utils.validation import require_non_negative, require_positive

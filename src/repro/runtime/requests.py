@@ -9,7 +9,7 @@ peer and therefore needs no request object — it is a plain method call on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 

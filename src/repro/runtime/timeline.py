@@ -14,14 +14,12 @@ turns those logs into analyzable/exportable forms:
 from __future__ import annotations
 
 import csv
-import io
 from pathlib import Path
-from typing import Sequence
 
 import numpy as np
 
 from repro.runtime.engine import RunOutcome
-from repro.runtime.trace import OpKind, OpRecord, RankTrace
+from repro.runtime.trace import OpKind, RankTrace
 
 #: Op kinds regarded as communication for occupancy profiles.
 COMM_KINDS = {OpKind.GET_REMOTE, OpKind.PUT, OpKind.SEND, OpKind.RECV,

@@ -1,0 +1,141 @@
+"""A bounded pool of resident :class:`~repro.session.Session`s.
+
+Memory on a real cluster bounds how many partitioned graphs (plus their
+CLaMPI caches) can stay resident at once; the pool models that with a
+``capacity`` on live sessions.  Acquiring a key that is not resident
+builds a session (cold partition, cold caches) and, at capacity, evicts
+one first — ``lru`` (least recently served) or ``lfu`` (least queries
+served, ties broken LRU).  Eviction closes the session, so its warm cache
+contents are genuinely gone: re-acquiring the key pays the cold cost
+again.  That is the contention the cache-affinity scheduler manages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import LCCConfig
+from repro.graph.csr import CSRGraph
+from repro.serve.request import SessionKey
+from repro.session import Session
+from repro.utils.errors import ConfigError
+
+#: Supported eviction policies.
+POOL_POLICIES = ("lru", "lfu")
+
+
+@dataclass
+class PoolStats:
+    """Counters the serving report surfaces."""
+
+    builds: int = 0          # sessions constructed (cold partition + caches)
+    evictions: int = 0       # sessions closed to make room
+    reuses: int = 0          # acquisitions served by a resident session
+    queries: dict = field(default_factory=dict)  # key -> queries served
+
+    def as_dict(self) -> dict:
+        return {"builds": self.builds, "evictions": self.evictions,
+                "reuses": self.reuses}
+
+
+class _Entry:
+    __slots__ = ("session", "last_used", "uses")
+
+    def __init__(self, session: Session):
+        self.session = session
+        self.last_used = 0
+        self.uses = 0
+
+
+class SessionPool:
+    """At most ``capacity`` resident sessions, keyed by ``SessionKey``.
+
+    ``config_for`` maps ``(graph, overrides_dict)`` to the
+    :class:`~repro.core.config.LCCConfig` the session is built with — the
+    serving engine injects rank count and cache sizing there.
+    """
+
+    def __init__(self, catalog: dict[str, CSRGraph],
+                 config_for: Callable[[CSRGraph, dict], LCCConfig],
+                 capacity: int = 4, policy: str = "lru"):
+        if capacity < 1:
+            raise ConfigError(f"pool capacity must be >= 1, got {capacity}")
+        if policy not in POOL_POLICIES:
+            raise ConfigError(f"unknown pool policy {policy!r}; "
+                              f"expected one of {POOL_POLICIES}")
+        self.catalog = catalog
+        self.config_for = config_for
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = PoolStats()
+        self._entries: dict[SessionKey, _Entry] = {}
+        self._clock = 0  # logical use counter for LRU recency
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: SessionKey) -> bool:
+        return key in self._entries
+
+    def resident_keys(self) -> list[SessionKey]:
+        """Resident keys, least-recently-used first."""
+        return sorted(self._entries, key=lambda k: self._entries[k].last_used)
+
+    # -- the one mutating operation -----------------------------------------
+    def acquire(self, key: SessionKey) -> tuple[Session, bool]:
+        """Return ``(session, built)`` for a key, evicting if necessary."""
+        self._clock += 1
+        entry = self._entries.get(key)
+        built = entry is None
+        if built:
+            graph_name, overrides = key
+            try:
+                graph = self.catalog[graph_name]
+            except KeyError:
+                # Validate before evicting: a bad key must not cost a
+                # warm resident session.
+                raise ConfigError(
+                    f"graph {graph_name!r} is not in the serving catalog "
+                    f"({', '.join(sorted(self.catalog))})") from None
+            if len(self._entries) >= self.capacity:
+                self._evict_one()
+            entry = _Entry(Session(graph,
+                                   self.config_for(graph, dict(overrides))))
+            self._entries[key] = entry
+            self.stats.builds += 1
+        else:
+            self.stats.reuses += 1
+        entry.last_used = self._clock
+        entry.uses += 1
+        self.stats.queries[key] = self.stats.queries.get(key, 0) + 1
+        return entry.session, built
+
+    def _evict_one(self) -> None:
+        if self.policy == "lfu":
+            victim = min(self._entries,
+                         key=lambda k: (self._entries[k].uses,
+                                        self._entries[k].last_used))
+        else:
+            victim = min(self._entries,
+                         key=lambda k: self._entries[k].last_used)
+        self._entries.pop(victim).session.close()
+        self.stats.evictions += 1
+
+    def close(self) -> None:
+        """Close every resident session (idempotent)."""
+        for entry in self._entries.values():
+            entry.session.close()
+        self._entries.clear()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SessionPool({len(self)}/{self.capacity} resident, "
+                f"policy={self.policy}, builds={self.stats.builds}, "
+                f"evictions={self.stats.evictions})")

@@ -1,0 +1,57 @@
+"""The unit of work a serving engine schedules: one query request.
+
+A request names *what* to run (kernel), *where* (a catalog graph plus the
+config overrides that shape its resident cluster) and *when* it enters
+the system (simulated arrival time).  Two requests with equal
+:attr:`~QueryRequest.session_key` can be served by the same resident
+:class:`~repro.session.Session` — that equivalence is what the
+cache-affinity scheduler exploits and what the session pool keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.utils.errors import ConfigError
+
+#: A hashable resident-cluster identity: (graph name, sorted override items).
+SessionKey = tuple
+
+def freeze_overrides(overrides: Mapping[str, Any] | None) -> tuple:
+    """Normalize an override mapping into a sorted, hashable tuple."""
+    if not overrides:
+        return ()
+    return tuple(sorted(overrides.items()))
+
+
+@dataclass(frozen=True, order=True)
+class QueryRequest:
+    """One tenant query against one resident cluster.
+
+    Ordering is (arrival, qid) so sorting a batch of requests yields the
+    FIFO service order; ``qid`` breaks simultaneous-arrival ties
+    deterministically.
+    """
+
+    arrival: float                      # simulated seconds since epoch 0
+    qid: int                            # unique, dense, assigned at generation
+    tenant: int = field(compare=False)  # who issued it
+    graph: str = field(compare=False)   # catalog graph name
+    kernel: str = field(compare=False, default="lcc")
+    overrides: tuple = field(compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ConfigError(f"arrival must be >= 0, got {self.arrival}")
+        if self.qid < 0:
+            raise ConfigError(f"qid must be >= 0, got {self.qid}")
+
+    @property
+    def session_key(self) -> SessionKey:
+        """The resident cluster this query runs on (pool / affinity key)."""
+        return (self.graph, self.overrides)
+
+    def override_dict(self) -> dict[str, Any]:
+        """The config overrides as a plain mapping."""
+        return dict(self.overrides)

@@ -1,0 +1,119 @@
+"""Pluggable serving schedulers: which queued query runs next?
+
+A scheduler never invents or drops work — it only picks, among the
+requests that have *arrived* and are waiting, the one the engine should
+serve next.  Because warm caches change timing but never answers (pinned
+by the session test suite), every policy produces bit-identical per-query
+results; what differs is the order, and with it the warm-hit fraction,
+the session-pool churn, and therefore latency and throughput.
+
+* :class:`FIFOScheduler` — arrival order, the fairness baseline.
+* :class:`CacheAffinityScheduler` — batches requests sharing a resident
+  cluster (same :attr:`~repro.serve.request.QueryRequest.session_key`):
+  stick with the key served last (its partition is resident and its
+  CLaMPI caches warm) until it has no queued work or ``max_batch``
+  consecutive queries have been served, then switch to the queued key
+  with the best (resident, backlog, age) score.  Batching amortizes one
+  cold partition + compulsory-miss pass over a run of warm queries and
+  keeps hot sessions from being evicted by one-off tail keys.
+"""
+
+from __future__ import annotations
+
+from repro.serve.pool import SessionPool
+from repro.serve.request import QueryRequest, SessionKey
+from repro.utils.errors import ConfigError
+
+
+class Scheduler:
+    """Base policy; subclasses implement :meth:`pick`."""
+
+    #: Registry name (CLI / reports).
+    name = "base"
+
+    def reset(self) -> None:
+        """Forget cross-request state before a fresh workload."""
+
+    def pick(self, queued: list[QueryRequest], last_key: SessionKey | None,
+             pool: SessionPool) -> QueryRequest:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class FIFOScheduler(Scheduler):
+    """Serve strictly in arrival order (qid breaks simultaneous ties)."""
+
+    name = "fifo"
+
+    def pick(self, queued: list[QueryRequest], last_key: SessionKey | None,
+             pool: SessionPool) -> QueryRequest:
+        if not queued:
+            raise ConfigError("pick() called with an empty queue")
+        return min(queued)
+
+
+class CacheAffinityScheduler(Scheduler):
+    """Batch same-session queries to maximize warm CLaMPI hits.
+
+    ``max_batch`` bounds how long one key can monopolize the server while
+    other tenants wait (anti-starvation); after a forced switch the old
+    key competes again like any other.
+    """
+
+    name = "affinity"
+
+    def __init__(self, max_batch: int = 16):
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._streak = 0
+
+    def pick(self, queued: list[QueryRequest], last_key: SessionKey | None,
+             pool: SessionPool) -> QueryRequest:
+        if not queued:
+            raise ConfigError("pick() called with an empty queue")
+        by_key: dict[SessionKey, list[QueryRequest]] = {}
+        for req in queued:
+            by_key.setdefault(req.session_key, []).append(req)
+
+        if last_key in by_key and (self._streak < self.max_batch
+                                   or len(by_key) == 1):
+            key = last_key
+        else:
+            # Switch: prefer keys whose session is already resident (warm
+            # for free), then the deepest backlog (best amortization of a
+            # cold build), then the longest-waiting request (aging).  A
+            # forced switch (streak cap) must not re-pick the last key.
+            candidates = {k: reqs for k, reqs in by_key.items()
+                          if k != last_key} or by_key
+
+            def score(k: SessionKey):
+                reqs = candidates[k]
+                return (0 if k in pool else 1, -len(reqs), min(reqs))
+
+            key = min(candidates, key=score)
+
+        self._streak = self._streak + 1 if key == last_key else 1
+        return min(by_key[key])
+
+
+#: Schedulers selectable by name (CLI, analysis, tests).
+SCHEDULERS = {
+    FIFOScheduler.name: FIFOScheduler,
+    CacheAffinityScheduler.name: CacheAffinityScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ConfigError(f"unknown scheduler {name!r}; "
+                          f"expected one of {sorted(SCHEDULERS)}") from None
+    return cls(**kwargs)

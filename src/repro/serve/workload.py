@@ -1,0 +1,156 @@
+"""Synthetic multi-tenant query workloads (Poisson arrivals, Zipf skew).
+
+The paper's Figure 4 observation is that remote reads over scale-free
+graphs concentrate on a small hot set — the property CLaMPI caching
+monetizes.  Serving traffic has the same shape one level up: a few hot
+tenants and hot graphs attract most queries.  This module generates that
+traffic deterministically:
+
+* **arrivals** are Poisson — exponential inter-arrival gaps at a chosen
+  aggregate rate (simulated queries/second);
+* **tenants** are drawn Zipf(``tenant_skew``), so a handful of tenants
+  dominate;
+* each tenant is pinned to a home ``(graph, config-variant)`` pair, with
+  graphs assigned Zipf(``graph_skew``) across the catalog, so hot tenants
+  pile onto hot resident clusters — the paper-motivated serving regime;
+* ``tenant_skew=0`` / ``graph_skew=0`` produce the uniform contrast.
+
+Note what the contrast shows: cache-affinity scheduling wins in *both*
+regimes, because its win is driven by contention for the bounded session
+pool.  Uniform popularity spreads queries over more distinct resident
+clusters, so FIFO thrashes the pool even harder and the affinity ratio
+can be *larger* than under skew (skewed FIFO traffic is already partially
+self-affine) — the ratio is not monotone in skew.
+
+Everything is seeded through :func:`repro.utils.rng.derive_seed`, so a
+:class:`WorkloadSpec` maps to exactly one request trace, bit-for-bit,
+across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, powerlaw_configuration, rmat
+from repro.serve.request import QueryRequest, freeze_overrides
+from repro.session import get_kernel
+from repro.utils.errors import ConfigError
+from repro.utils.rng import derive_seed, make_rng
+
+#: Config-variant pool tenants are assigned from (all result-preserving:
+#: intersection method and overlap change timing, never answers).
+DEFAULT_VARIANTS: tuple[tuple[tuple, ...], ...] = (
+    (),
+    (("method", "ssi"),),
+)
+
+
+def default_catalog(scale: float = 1.0) -> dict[str, CSRGraph]:
+    """The standard serving catalog: small named graphs, skew and uniform.
+
+    ``scale`` shrinks vertex/edge counts for smoke tests; graphs stay
+    undirected so every resident kernel (lcc *and* tc) can serve them.
+    """
+    if scale <= 0:
+        raise ConfigError(f"catalog scale must be > 0, got {scale}")
+
+    def s(x: int) -> int:
+        return max(16, int(x * scale))
+
+    return {
+        "social-a": powerlaw_configuration(s(768), s(4800), seed=11,
+                                           name="social-a"),
+        "social-b": powerlaw_configuration(s(512), s(2800), seed=12,
+                                           name="social-b"),
+        "web-a": rmat(max(5, int(np.log2(s(512)))), 6, seed=13, name="web-a"),
+        "mesh-a": erdos_renyi(s(512), s(2400), seed=14, name="mesh-a"),
+    }
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalized Zipf(``skew``) weights over ranks ``1..n``.
+
+    ``skew=0`` is the uniform distribution; larger values concentrate mass
+    on the first ranks (rank k gets weight proportional to ``k**-skew``).
+    """
+    if n < 1:
+        raise ConfigError(f"zipf_weights needs n >= 1, got {n}")
+    if skew < 0:
+        raise ConfigError(f"zipf skew must be >= 0, got {skew}")
+    w = np.arange(1, n + 1, dtype=np.float64) ** (-skew)
+    return w / w.sum()
+
+
+def _choice(rng: np.random.Generator, weights: np.ndarray,
+            size: int) -> np.ndarray:
+    """Inverse-CDF sampling (stable across NumPy versions for fixed draws)."""
+    cdf = np.cumsum(weights)
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, rng.random(size), side="right")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything one synthetic workload depends on (hashable, seedable)."""
+
+    n_queries: int = 100
+    arrival_rate: float = 100.0         # aggregate simulated queries/second
+    n_tenants: int = 8
+    graphs: tuple[str, ...] = ("social-a", "social-b", "web-a", "mesh-a")
+    kernels: tuple[str, ...] = ("lcc", "tc")
+    variants: tuple = DEFAULT_VARIANTS
+    tenant_skew: float = 1.1            # Zipf exponent over tenants
+    graph_skew: float = 0.9             # Zipf exponent over catalog graphs
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise ConfigError(f"n_queries must be >= 1, got {self.n_queries}")
+        if self.arrival_rate <= 0:
+            raise ConfigError(
+                f"arrival_rate must be > 0, got {self.arrival_rate}")
+        if self.n_tenants < 1:
+            raise ConfigError(f"n_tenants must be >= 1, got {self.n_tenants}")
+        if not self.graphs:
+            raise ConfigError("workload needs at least one graph")
+        if not self.kernels:
+            raise ConfigError("workload needs at least one kernel")
+
+    def uniform(self) -> "WorkloadSpec":
+        """The same workload with popularity skew removed (the contrast)."""
+        return replace(self, tenant_skew=0.0, graph_skew=0.0)
+
+
+def generate_workload(spec: WorkloadSpec) -> list[QueryRequest]:
+    """Deterministically expand a spec into its arrival-ordered requests."""
+    for kernel in spec.kernels:
+        if not get_kernel(kernel).resident:
+            raise ConfigError(
+                f"serving kernels must be resident, got {kernel!r}")
+    rng = make_rng(derive_seed(spec.seed, "serve-workload"))
+    n = spec.n_queries
+
+    # Tenant homes: graph by Zipf over the catalog, variant round-robin
+    # (so hot graphs are served under more than one resident config).
+    graph_ranks = _choice(rng, zipf_weights(len(spec.graphs),
+                                            spec.graph_skew), spec.n_tenants)
+    homes = [(spec.graphs[int(g)],
+              freeze_overrides(dict(spec.variants[t % len(spec.variants)])))
+             for t, g in enumerate(graph_ranks)]
+
+    arrivals = np.cumsum(rng.exponential(1.0 / spec.arrival_rate, size=n))
+    tenants = _choice(rng, zipf_weights(spec.n_tenants, spec.tenant_skew), n)
+    kernel_ids = _choice(rng, zipf_weights(len(spec.kernels), 0.0), n)
+
+    requests = []
+    for qid in range(n):
+        tenant = int(tenants[qid])
+        graph, overrides = homes[tenant]
+        requests.append(QueryRequest(
+            arrival=float(arrivals[qid]), qid=qid, tenant=tenant,
+            graph=graph, kernel=spec.kernels[int(kernel_ids[qid])],
+            overrides=overrides))
+    return requests

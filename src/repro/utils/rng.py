@@ -9,7 +9,6 @@ paper-reproduction tables are stable across runs.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

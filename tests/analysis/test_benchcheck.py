@@ -1,0 +1,101 @@
+"""The bench regression gate: check_against_baseline semantics."""
+
+import pytest
+
+from repro.analysis.benchreport import (
+    DEFAULT_CHECK_TOLERANCE,
+    check_against_baseline,
+    load_report,
+    write_report,
+)
+
+
+def replay_row(warm=10.0, cold=2.0, identical=True):
+    return {"warm_speedup": warm, "cold_speedup": cold,
+            "bit_identical": identical}
+
+
+def report_with(rows):
+    return {"cached_replay": rows}
+
+
+BASELINE = report_with({
+    "lcc:powerlaw-m": replay_row(warm=8.0),
+    "lcc:rmat-s10": replay_row(warm=14.0),
+    "tc:powerlaw-m": replay_row(warm=12.0),
+})
+
+
+class TestGate:
+    def test_passes_when_fresh_meets_baseline(self):
+        fresh = report_with({"lcc:powerlaw-s": replay_row(warm=9.0),
+                             "tc:powerlaw-s": replay_row(warm=11.0)})
+        assert check_against_baseline(fresh, BASELINE) == []
+
+    def test_graph_names_not_matched_only_kernels(self):
+        """CI quick graphs differ from the committed full-size baseline."""
+        fresh = report_with({"lcc:tiny-x": replay_row(warm=4.0),
+                             "tc:tiny-x": replay_row(warm=4.0)})
+        # floors: lcc 0.25*8=2.0, tc 0.25*12=3.0 -> both pass at 4.0
+        assert check_against_baseline(fresh, BASELINE) == []
+
+    def test_worst_graph_is_the_contract(self):
+        fresh = report_with({"lcc:a": replay_row(warm=50.0),
+                             "lcc:b": replay_row(warm=0.5),
+                             "tc:a": replay_row(warm=11.0)})
+        problems = check_against_baseline(fresh, BASELINE)
+        assert len(problems) == 1
+        assert "lcc" in problems[0] and "0.50x" in problems[0]
+
+    def test_bit_identical_is_non_negotiable(self):
+        fresh = report_with({
+            "lcc:a": replay_row(warm=100.0, identical=False),
+            "tc:a": replay_row(warm=100.0)})
+        problems = check_against_baseline(fresh, BASELINE)
+        assert any("bit-identical" in p for p in problems)
+
+    def test_missing_kernel_flagged(self):
+        fresh = report_with({"lcc:a": replay_row(warm=9.0)})
+        problems = check_against_baseline(fresh, BASELINE)
+        assert any("'tc'" in p and "missing" in p for p in problems)
+
+    def test_empty_fresh_report_flagged(self):
+        problems = check_against_baseline(report_with({}), BASELINE)
+        assert any("no cached_replay" in p for p in problems)
+
+    def test_empty_baseline_flagged_not_vacuously_passed(self):
+        """--check pointed at the wrong file must fail, not gate nothing."""
+        fresh = report_with({"lcc:a": replay_row(warm=9.0)})
+        problems = check_against_baseline(fresh, {"workloads": {}})
+        assert any("baseline has no cached_replay" in p for p in problems)
+
+    def test_tolerance_scales_the_floor(self):
+        fresh = report_with({"lcc:a": replay_row(warm=5.0),
+                             "tc:a": replay_row(warm=5.0)})
+        assert check_against_baseline(fresh, BASELINE, tolerance=0.3) == []
+        problems = check_against_baseline(fresh, BASELINE, tolerance=0.9)
+        assert len(problems) == 2
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_against_baseline(BASELINE, BASELINE, tolerance=0.0)
+
+    def test_default_tolerance_is_loose(self):
+        assert 0 < DEFAULT_CHECK_TOLERANCE <= 0.5
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_self_consistent(self):
+        """The repo-root BENCH_kernels.json passes the gate against itself."""
+        from pathlib import Path
+        path = Path(__file__).resolve().parents[2] / "BENCH_kernels.json"
+        report = load_report(str(path))
+        assert check_against_baseline(report, report) == []
+
+    def test_load_write_round_trip(self, tmp_path):
+        from pathlib import Path
+        path = Path(__file__).resolve().parents[2] / "BENCH_kernels.json"
+        report = load_report(str(path))
+        out = tmp_path / "copy.json"
+        write_report(report, str(out))
+        assert load_report(str(out)) == report

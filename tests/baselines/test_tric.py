@@ -7,7 +7,6 @@ from repro.baselines.tric import TricConfig, run_tric, run_tric_buffered
 from repro.core.config import LCCConfig
 from repro.core.lcc import run_distributed_lcc
 from repro.core.local import triangle_count_local
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import powerlaw_configuration, rmat
 from repro.utils.errors import ConfigError
 

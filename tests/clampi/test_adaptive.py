@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clampi.adaptive import AdaptiveConfig, AdaptiveTuner
+from repro.clampi.adaptive import AdaptiveConfig
 from repro.clampi.cache import ClampiCache, ClampiConfig
 from repro.runtime.window import Window
 

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.clampi.cache import ClampiCache, ClampiConfig, ConsistencyMode
-from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy, LRUScorePolicy
-from repro.runtime.network import MemoryModel, NetworkModel
+from repro.clampi.scores import AppScorePolicy, LRUScorePolicy
 from repro.runtime.window import Window
 from repro.utils.errors import CacheError
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy
+from repro.clampi.scores import AppScorePolicy
 from repro.clampi.wrapper import (
     adjacency_hash_slots,
     attach_adjacency_caches,

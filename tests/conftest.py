@@ -15,7 +15,6 @@ from repro.graph.generators import (
     rmat,
 )
 from repro.runtime.engine import Engine
-from repro.runtime.network import MemoryModel, NetworkModel
 from repro.runtime.window import Window
 
 

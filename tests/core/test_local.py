@@ -15,8 +15,6 @@ from repro.core.local import (
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import (
     complete_graph,
-    erdos_renyi,
-    powerlaw_configuration,
     ring_of_cliques,
     rmat,
     star_graph,

@@ -1,6 +1,5 @@
 """Tests for distributed global triangle counting."""
 
-import numpy as np
 import pytest
 
 from repro.core.api import count_triangles

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
-from repro.graph.properties import gini, is_power_law_like
+from repro.graph.properties import is_power_law_like
 from repro.utils.errors import ConfigError
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.config import LCCConfig
-from repro.graph.csr import CSRGraph
 from repro.graph.exchange import exchange_graph
 from repro.graph.generators import rmat
 from repro.graph.partition import BlockPartition1D, CyclicPartition1D, split_csr

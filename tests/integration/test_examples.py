@@ -8,7 +8,6 @@ import runpy
 import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
@@ -63,6 +62,13 @@ def test_cache_tuning(capsys):
     out = capsys.readouterr().out
     assert "no cache:" in out
     assert "runs amortized one partitioning" in out
+
+
+def test_serving(capsys):
+    run_example("serving.py")
+    out = capsys.readouterr().out
+    assert "cache-affinity scheduling" in out
+    assert "answers identical: True" in out
 
 
 def test_dynamic_graph(capsys):

@@ -9,7 +9,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.clampi.cache import ClampiCache, ClampiConfig, ConsistencyMode
+from repro.clampi.cache import ClampiCache, ClampiConfig
 from repro.clampi.scores import AppScorePolicy, DefaultScorePolicy, LRUScorePolicy
 from repro.runtime.window import Window
 

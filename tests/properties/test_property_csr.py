@@ -1,7 +1,7 @@
 """Property-based tests for CSR construction and transformations."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph.csr import CSRGraph, relabel_random, remove_low_degree_vertices

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import CacheSpec, LCCConfig
 from repro.core.lcc import run_distributed_lcc
-from repro.core.local import lcc_local, triangle_count_local
+from repro.core.local import triangle_count_local
 from repro.core.tc import run_distributed_tc
 from repro.graph.csr import CSRGraph
 

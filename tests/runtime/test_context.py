@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.runtime.context import SimContext
-from repro.runtime.network import MemoryModel, NetworkModel
 from repro.runtime.window import Window
 from repro.utils.errors import SimulationError
 

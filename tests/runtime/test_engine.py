@@ -1,6 +1,5 @@
 """Tests for the discrete-event engine: scheduling, matching, deadlocks."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.engine import Engine

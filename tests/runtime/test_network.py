@@ -1,12 +1,11 @@
 """Tests for the network and memory cost models."""
 
-import math
 
 import pytest
 
 from repro.runtime.network import MemoryModel, NetworkModel
 from repro.utils.errors import ConfigError
-from repro.utils.units import GiB, KiB, MiB, US
+from repro.utils.units import GiB, KiB, MiB
 
 
 class TestNetworkModel:

@@ -1,0 +1,115 @@
+"""Scheduler policies: FIFO order, affinity batching, determinism."""
+
+import pytest
+
+from repro.core.config import LCCConfig
+from repro.graph.generators import complete_graph
+from repro.serve.pool import SessionPool
+from repro.serve.request import QueryRequest
+from repro.serve.scheduler import (
+    SCHEDULERS,
+    CacheAffinityScheduler,
+    FIFOScheduler,
+    make_scheduler,
+)
+from repro.utils.errors import ConfigError
+
+
+def req(qid, graph, arrival=None, **overrides):
+    return QueryRequest(arrival=float(qid if arrival is None else arrival),
+                        qid=qid, tenant=0, graph=graph,
+                        overrides=tuple(sorted(overrides.items())))
+
+
+@pytest.fixture
+def pool():
+    catalog = {name: complete_graph(5, name=name) for name in ("a", "b", "c")}
+    with SessionPool(catalog, lambda g, o: LCCConfig(nranks=2, **o),
+                     capacity=2) as p:
+        yield p
+
+
+class TestRegistry:
+    def test_both_schedulers_registered(self):
+        assert set(SCHEDULERS) == {"fifo", "affinity"}
+
+    def test_make_scheduler_by_name(self):
+        assert isinstance(make_scheduler("fifo"), FIFOScheduler)
+        affinity = make_scheduler("affinity", max_batch=4)
+        assert affinity.max_batch == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheduler"):
+            make_scheduler("sjf")
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ConfigError, match="max_batch"):
+            CacheAffinityScheduler(max_batch=0)
+
+
+class TestFIFO:
+    def test_picks_earliest_arrival(self, pool):
+        queued = [req(3, "a"), req(1, "b"), req(2, "c")]
+        assert FIFOScheduler().pick(queued, None, pool).qid == 1
+
+    def test_qid_breaks_arrival_ties(self, pool):
+        queued = [req(5, "a", arrival=1.0), req(4, "b", arrival=1.0)]
+        assert FIFOScheduler().pick(queued, None, pool).qid == 4
+
+    def test_empty_queue_rejected(self, pool):
+        with pytest.raises(ConfigError):
+            FIFOScheduler().pick([], None, pool)
+
+
+class TestAffinity:
+    def test_sticks_with_last_key(self, pool):
+        sched = CacheAffinityScheduler()
+        queued = [req(1, "a"), req(2, "b"), req(3, "b")]
+        picked = sched.pick(queued, ("b", ()), pool)
+        assert picked.qid == 2          # same key as last, earliest first
+
+    def test_switches_to_deepest_backlog_when_no_last(self, pool):
+        sched = CacheAffinityScheduler()
+        queued = [req(1, "a"), req(2, "b"), req(3, "b")]
+        assert sched.pick(queued, None, pool).graph == "b"
+
+    def test_prefers_resident_sessions_on_switch(self, pool):
+        pool.acquire(("c", ()))
+        sched = CacheAffinityScheduler()
+        # backlog depth is equal; only 'c' is resident in the pool.
+        queued = [req(1, "a"), req(2, "c")]
+        assert sched.pick(queued, None, pool).graph == "c"
+
+    def test_max_batch_forces_a_switch(self, pool):
+        sched = CacheAffinityScheduler(max_batch=2)
+        queued = [req(1, "a"), req(2, "a"), req(3, "a"), req(4, "b")]
+        order = []
+        last = None
+        while queued:
+            picked = sched.pick(queued, last, pool)
+            queued.remove(picked)
+            order.append(picked.graph)
+            last = picked.session_key
+        assert order == ["a", "a", "b", "a"]
+
+    def test_streak_not_capped_without_competition(self, pool):
+        sched = CacheAffinityScheduler(max_batch=2)
+        queued = [req(1, "a"), req(2, "a"), req(3, "a")]
+        last = None
+        for expected in (1, 2, 3):
+            picked = sched.pick(queued, last, pool)
+            queued.remove(picked)
+            last = picked.session_key
+            assert picked.qid == expected
+
+    def test_reset_clears_streak(self, pool):
+        sched = CacheAffinityScheduler(max_batch=1)
+        sched.pick([req(1, "a"), req(2, "b")], ("a", ()), pool)
+        sched.reset()
+        assert sched._streak == 0
+
+    def test_deterministic_pick(self, pool):
+        queued = [req(5, "b"), req(2, "a"), req(9, "b"), req(4, "c")]
+        sched = CacheAffinityScheduler()
+        picks = {sched.pick(list(queued), None, pool).qid for _ in range(5)}
+        assert len(picks) == 1

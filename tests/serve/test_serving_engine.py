@@ -1,0 +1,117 @@
+"""Serving engine: accounting invariants, scheduler parity, affinity wins."""
+
+import pytest
+
+from repro.serve.engine import (
+    ServeConfig,
+    ServingEngine,
+    answers_identical,
+    summarize,
+)
+from repro.serve.scheduler import CacheAffinityScheduler, FIFOScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.utils.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def requests(catalog):
+    # Saturating arrivals over a contended pool: the affinity regime.
+    return generate_workload(
+        WorkloadSpec(n_queries=40, arrival_rate=3000.0, n_tenants=8,
+                     graphs=tuple(catalog), seed=5))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServeConfig(nranks=4, threads=2, pool_capacity=2)
+
+
+@pytest.fixture(scope="module")
+def fifo_outcome(catalog, requests, config):
+    return ServingEngine(catalog, config, FIFOScheduler()).serve(requests)
+
+
+@pytest.fixture(scope="module")
+def affinity_outcome(catalog, requests, config):
+    return ServingEngine(catalog, config,
+                         CacheAffinityScheduler()).serve(requests)
+
+
+class TestAccounting:
+    def test_every_request_served_once(self, fifo_outcome, requests):
+        assert [r.qid for r in fifo_outcome.records] == sorted(
+            r.qid for r in requests)
+
+    def test_time_invariants(self, fifo_outcome, requests):
+        by_qid = {r.qid: r for r in requests}
+        for rec in fifo_outcome.records:
+            assert rec.start >= rec.arrival == by_qid[rec.qid].arrival
+            assert rec.finish == rec.start + rec.service_s
+            # One ulp of slack: latency == service when there is no queueing.
+            assert rec.latency >= rec.service_s * (1 - 1e-12)
+            assert rec.service_s > 0
+            assert rec.wall_s > 0
+
+    def test_server_is_sequential(self, fifo_outcome):
+        """Service intervals never overlap on the simulated clock."""
+        spans = sorted((r.start, r.finish) for r in fifo_outcome.records)
+        for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+            assert start >= prev_end - 1e-12
+
+    def test_aggregates_consistent(self, fifo_outcome):
+        agg = fifo_outcome.aggregates
+        assert agg["n_queries"] == len(fifo_outcome.records)
+        assert agg["makespan_s"] == max(r.finish
+                                        for r in fifo_outcome.records)
+        assert agg["throughput_qps"] == pytest.approx(
+            agg["n_queries"] / agg["makespan_s"])
+        assert 0.0 <= agg["warm_fraction"] <= 1.0
+        assert agg["latency_p50_s"] <= agg["latency_p95_s"] \
+            <= agg["latency_max_s"]
+        assert agg["session_builds"] >= 1
+
+    def test_deterministic_replay(self, catalog, requests, config,
+                                  affinity_outcome):
+        again = ServingEngine(catalog, config,
+                              CacheAffinityScheduler()).serve(requests)
+        assert [(r.qid, r.start, r.finish, r.warm_cache, r.digest)
+                for r in again.records] == \
+               [(r.qid, r.start, r.finish, r.warm_cache, r.digest)
+                for r in affinity_outcome.records]
+
+    def test_empty_workload_rejected(self, catalog, config):
+        with pytest.raises(ConfigError):
+            ServingEngine(catalog, config).serve([])
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([], {}, 0.0)
+
+
+class TestSchedulerParity:
+    def test_answers_bit_identical_across_schedulers(self, fifo_outcome,
+                                                     affinity_outcome):
+        """Scheduling changes order and timing, never per-query results."""
+        assert answers_identical(fifo_outcome, affinity_outcome)
+
+    def test_orders_actually_differ(self, fifo_outcome, affinity_outcome):
+        fifo_starts = {r.qid: r.start for r in fifo_outcome.records}
+        aff_starts = {r.qid: r.start for r in affinity_outcome.records}
+        assert fifo_starts != aff_starts
+
+
+class TestAffinityWins:
+    def test_warmer_and_fewer_builds(self, fifo_outcome, affinity_outcome):
+        fifo, aff = fifo_outcome.aggregates, affinity_outcome.aggregates
+        assert aff["warm_fraction"] > fifo["warm_fraction"]
+        assert aff["session_builds"] < fifo["session_builds"]
+
+    def test_higher_throughput_on_skewed_saturated_traffic(
+            self, fifo_outcome, affinity_outcome):
+        assert (affinity_outcome.aggregates["throughput_qps"]
+                > fifo_outcome.aggregates["throughput_qps"])

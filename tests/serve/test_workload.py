@@ -1,0 +1,109 @@
+"""Workload generation: determinism, arrival process, popularity skew."""
+
+import numpy as np
+import pytest
+
+from repro.serve.request import QueryRequest, freeze_overrides
+from repro.serve.workload import (
+    WorkloadSpec,
+    default_catalog,
+    generate_workload,
+    zipf_weights,
+)
+from repro.utils.errors import ConfigError
+
+SPEC = WorkloadSpec(n_queries=400, arrival_rate=500.0, n_tenants=10, seed=3)
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero_skew(self):
+        w = zipf_weights(8, 0.0)
+        assert np.allclose(w, 1.0 / 8)
+
+    def test_skew_concentrates_on_first_ranks(self):
+        w = zipf_weights(8, 1.2)
+        assert np.all(np.diff(w) < 0)
+        assert w[0] > 0.3
+        assert np.isclose(w.sum(), 1.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigError):
+            zipf_weights(4, -0.1)
+
+
+class TestGenerate:
+    def test_deterministic_for_a_seed(self):
+        assert generate_workload(SPEC) == generate_workload(SPEC)
+
+    def test_different_seed_different_trace(self):
+        from dataclasses import replace
+        other = generate_workload(replace(SPEC, seed=4))
+        assert other != generate_workload(SPEC)
+
+    def test_arrivals_are_sorted_and_positive(self):
+        requests = generate_workload(SPEC)
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+        # Poisson at 500 q/s: 400 arrivals span roughly a second.
+        assert 0.3 < arrivals[-1] < 3.0
+
+    def test_qids_dense_and_unique(self):
+        requests = generate_workload(SPEC)
+        assert [r.qid for r in requests] == list(range(SPEC.n_queries))
+
+    def test_zipf_tenants_skewed_uniform_not(self):
+        skewed = generate_workload(SPEC)
+        uniform = generate_workload(SPEC.uniform())
+        top_skew = max(np.bincount([r.tenant for r in skewed]))
+        top_uni = max(np.bincount([r.tenant for r in uniform]))
+        assert top_skew > 2 * SPEC.n_queries / SPEC.n_tenants
+        assert top_skew > top_uni
+
+    def test_tenant_home_is_stable(self):
+        """Every query of one tenant lands on one (graph, variant) key."""
+        requests = generate_workload(SPEC)
+        homes = {}
+        for r in requests:
+            homes.setdefault(r.tenant, set()).add(r.session_key)
+        assert all(len(keys) == 1 for keys in homes.values())
+
+    def test_kernels_only_resident(self):
+        with pytest.raises(ConfigError, match="resident"):
+            generate_workload(WorkloadSpec(kernels=("tric",)))
+
+    def test_graphs_match_catalog(self):
+        catalog = default_catalog(scale=0.2)
+        requests = generate_workload(
+            WorkloadSpec(n_queries=50, graphs=tuple(catalog)))
+        assert {r.graph for r in requests} <= set(catalog)
+
+
+class TestRequestModel:
+    def test_ordering_is_arrival_then_qid(self):
+        a = QueryRequest(arrival=1.0, qid=2, tenant=0, graph="g")
+        b = QueryRequest(arrival=1.0, qid=3, tenant=0, graph="g")
+        c = QueryRequest(arrival=0.5, qid=9, tenant=0, graph="g")
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_session_key_folds_graph_and_overrides(self):
+        r = QueryRequest(arrival=0.0, qid=0, tenant=1, graph="g",
+                         overrides=freeze_overrides({"method": "ssi"}))
+        assert r.session_key == ("g", (("method", "ssi"),))
+        assert r.override_dict() == {"method": "ssi"}
+
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            QueryRequest(arrival=-1.0, qid=0, tenant=0, graph="g")
+        with pytest.raises(ConfigError):
+            QueryRequest(arrival=0.0, qid=-1, tenant=0, graph="g")
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n_queries=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_rate=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(graphs=())

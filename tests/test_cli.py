@@ -108,6 +108,52 @@ class TestKernels:
             main(["run", "--kernel", "lcc"])
 
 
+class TestServe:
+    ARGS = ["serve", "--queries", "24", "--rate", "3000", "--tenants", "6",
+            "--catalog-scale", "0.2", "--pool-capacity", "2"]
+
+    def test_serve_both_schedulers_json(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 24
+        assert payload["results_identical"] is True
+        assert payload["fifo_n_queries"] == 24
+        assert payload["affinity_n_queries"] == 24
+        assert payload["throughput_ratio"] > 0
+
+    def test_serve_single_scheduler_text(self, capsys):
+        assert main(self.ARGS + ["--scheduler", "affinity",
+                                 "--skew", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert "affinity_throughput_qps" in out
+        assert "results_identical" not in out
+
+    def test_serve_bench_writes_gated_report(self, tmp_path, capsys):
+        from repro.analysis.serving import SERVE_REPORT_KEYS, check_serve_report
+
+        out_file = tmp_path / "BENCH_serve.json"
+        assert main(["serve", "--quick", "--bench", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        for key in SERVE_REPORT_KEYS:
+            assert key in report
+        assert check_serve_report(report) == []
+        out = capsys.readouterr().out
+        assert "affinity/fifo throughput" in out
+
+    def test_serve_bench_rejects_customization_flags(self, tmp_path):
+        """The recorded benchmark is pinned; one-off flags must not be
+        silently ignored when writing a baseline."""
+        with pytest.raises(SystemExit, match="--pool-capacity"):
+            main(["serve", "--bench", str(tmp_path / "x.json"),
+                  "--quick", "--pool-capacity", "5"])
+
+    def test_serve_rejects_bad_pool(self):
+        from repro.utils.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="capacity"):
+            main(self.ARGS[:1] + ["--pool-capacity", "0"])
+
+
 class TestBench:
     def test_bench_json_round_trip(self, tmp_path, capsys):
         from repro.analysis.benchreport import REPORT_KEYS, check_report
@@ -132,3 +178,76 @@ class TestBench:
             assert row["warm_speedup"] > 0
         out = capsys.readouterr().out
         assert "batched replay" in out
+
+    def test_bench_check_passes_against_lenient_baseline(self, tmp_path,
+                                                         capsys,
+                                                         monkeypatch):
+        self._patch_canned_bench(monkeypatch, warm=8.0)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"cached_replay": {
+            "lcc:full": {"warm_speedup": 8.0, "bit_identical": True},
+            "tc:full": {"warm_speedup": 12.0, "bit_identical": True},
+        }}))
+        out_file = tmp_path / "fresh.json"
+        assert main(["bench", "--quick", "--json", str(out_file),
+                     "--check", str(baseline)]) == 0
+        assert "bench check OK" in capsys.readouterr().err
+        assert out_file.exists()
+
+    def test_bench_check_fails_on_regression(self, tmp_path, capsys,
+                                             monkeypatch):
+        self._patch_canned_bench(monkeypatch, warm=0.5)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"cached_replay": {
+            "lcc:full": {"warm_speedup": 8.0, "bit_identical": True},
+        }}))
+        assert main(["bench", "--quick", "--json",
+                     str(tmp_path / "fresh.json"),
+                     "--check", str(baseline),
+                     "--check-tolerance", "0.5"]) == 1
+        err = capsys.readouterr().err
+        assert "bench check FAILED" in err
+        assert "fell below" in err
+
+    def test_bench_check_same_path_reads_baseline_before_writing(
+            self, tmp_path, capsys, monkeypatch):
+        """--json defaults to the baseline path; the gate must compare
+        against the *previous* contents, not the just-written report."""
+        self._patch_canned_bench(monkeypatch, warm=0.5)
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps({"cached_replay": {
+            "lcc:full": {"warm_speedup": 8.0, "bit_identical": True},
+        }}))
+        assert main(["bench", "--quick", "--json", str(path),
+                     "--check", str(path),
+                     "--check-tolerance", "0.5"]) == 1
+        assert "bench check FAILED" in capsys.readouterr().err
+
+    @staticmethod
+    def _patch_canned_bench(monkeypatch, warm):
+        """Replace the (slow) bench run with a canned report."""
+        import repro.analysis.benchreport as br
+
+        canned = {
+            "schema_version": br.SCHEMA_VERSION, "quick": True,
+            "nranks": 8, "threads": 4, "graphs": {},
+            "kernels": {"lcc:quick": {
+                "wall_clock_s": 0.1, "simulated_time_s": 0.01,
+                "global_triangles": 1, "adj_hit_rate": None,
+                "offsets_hit_rate": None}},
+            "cached_replay": {"lcc:quick": {
+                "cold_wall_clock_loop_s": 0.2,
+                "cold_wall_clock_batched_s": 0.1, "cold_speedup": 2.0,
+                "warm_wall_clock_loop_s": 0.2,
+                "warm_wall_clock_batched_s": 0.2 / warm,
+                "warm_speedup": warm, "bit_identical": True,
+                "adj_hit_rate": 0.9, "offsets_hit_rate": 0.9},
+                "tc:quick": {
+                "cold_wall_clock_loop_s": 0.2,
+                "cold_wall_clock_batched_s": 0.1, "cold_speedup": 2.0,
+                "warm_wall_clock_loop_s": 0.2,
+                "warm_wall_clock_batched_s": 0.2 / warm,
+                "warm_speedup": warm, "bit_identical": True,
+                "adj_hit_rate": 0.9, "offsets_hit_rate": 0.9}},
+        }
+        monkeypatch.setattr(br, "run_bench", lambda quick=False: canned)
