@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A resident cluster absorbing live edge updates (the dynamic subsystem).
+
+A monitoring service keeps LCC/TC results fresh over a graph that keeps
+changing.  Three things make that cheap here, none of which exist in the
+static paper setup:
+
+1. **batched deltas** — updates apply as a vectorized CSR merge, never a
+   full rebuild (`repro.dynamic.apply_delta`);
+2. **incremental recompute** — only the affected vertices (changed-edge
+   endpoints plus per-edge common neighborhoods) are recounted, and the
+   fold is bit-identical to a full recompute;
+3. **targeted invalidation** — the resident session evicts exactly the
+   CLaMPI entries the update made stale, so the next query is still
+   mostly warm (contrast with transparent mode's flush-everything in
+   examples/dynamic_graph.py).
+
+    python examples/dynamic_updates.py
+"""
+
+import numpy as np
+
+from repro.core import CacheSpec, LCCConfig
+from repro.dynamic import IncrementalState, random_update_batch
+from repro.graph import load_dataset
+from repro.session import Session
+
+
+def main() -> None:
+    graph = load_dataset("skitter", scale=0.4)
+    config = LCCConfig(nranks=8, threads=4,
+                       cache=CacheSpec.relative(graph.nbytes, 0.5, 1.0))
+    print(f"serving LCC over {graph.name}: |V|={graph.n:,} |E|={graph.m:,}\n")
+
+    state = IncrementalState.from_graph(graph)
+    with Session(graph, config) as session:
+        session.run("lcc", keep_cache=True)          # cold pass
+        warm = session.run("lcc", keep_cache=True)   # the reuse regime
+        print(f"warm query: adj hit rate "
+              f"{warm.adj_cache_stats['hit_rate']:.3f}\n")
+
+        for epoch in range(1, 4):
+            batch = random_update_batch(session.graph, n_edges=16,
+                                        delete_fraction=0.25, seed=epoch)
+            outcome = session.apply_updates(batch)
+            state.apply(batch)
+            result = session.run("lcc", keep_cache=True)
+            ok = (np.array_equal(result.lcc, state.lcc)
+                  and result.global_triangles == state.global_triangles)
+            print(f"epoch {epoch}: +{outcome.delta.n_inserted} "
+                  f"-{outcome.delta.n_deleted} edges  "
+                  f"affected {outcome.affected.shape[0]:>4} vertices  "
+                  f"invalidated {outcome.invalidated_entries:>5} / retained "
+                  f"{outcome.retained_entries:>5} cache entries  "
+                  f"post-update hit rate "
+                  f"{result.adj_cache_stats['hit_rate']:.3f}  "
+                  f"incremental fold exact: {ok}")
+
+    print(f"\nincremental state recomputed {state.vertices_recomputed:,} "
+          f"vertices across {state.updates_applied} batches "
+          f"(vs {state.updates_applied * graph.n:,} for full recomputes); "
+          f"triangles now {state.global_triangles:,}")
+
+
+if __name__ == "__main__":
+    main()

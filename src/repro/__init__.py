@@ -34,16 +34,25 @@ Subpackages: :mod:`repro.runtime` (simulated MPI/RMA), :mod:`repro.clampi`
 :mod:`repro.core` (the paper's algorithms), :mod:`repro.baselines`
 (TriC, DistTC, MapReduce), :mod:`repro.analysis` (the experiment harness
 regenerating every table and figure); :mod:`repro.session` (the
-resident-cluster query API); :mod:`repro.serve` (multi-tenant query
-serving with cache-affinity scheduling over a bounded session pool).
+resident-cluster query API); :mod:`repro.dynamic` (batched edge updates,
+incremental recompute and targeted cache invalidation); :mod:`repro.serve`
+(multi-tenant query serving with cache-affinity scheduling over a bounded
+session pool, mixing reads with graph updates).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from repro.dynamic import (  # noqa: E402
+    DeltaBuffer,
+    IncrementalState,
+    UpdateBatch,
+    apply_delta,
+)
 from repro.session import (  # noqa: E402
     KernelResult,
     KernelSpec,
     Session,
+    UpdateOutcome,
     get_kernel,
     kernel_names,
     register_kernel,
@@ -52,9 +61,14 @@ from repro.session import (  # noqa: E402
 )
 
 __all__ = [
+    "DeltaBuffer",
+    "IncrementalState",
     "KernelResult",
     "KernelSpec",
     "Session",
+    "UpdateBatch",
+    "UpdateOutcome",
+    "apply_delta",
     "get_kernel",
     "kernel_names",
     "register_kernel",

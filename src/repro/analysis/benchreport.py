@@ -268,3 +268,75 @@ def load_report(path: str) -> dict[str, Any]:
     """Read a committed report back (the ``--check`` baseline)."""
     with open(path) as fh:
         return json.load(fh)
+
+
+# ---------------------------------------------------------------------------
+# The cross-PR perf trajectory (``BENCH_trajectory.json``)
+# ---------------------------------------------------------------------------
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Committed at the repo root; every ``repro bench`` run appends one row,
+#: so the file accumulates a dated perf history across PRs.
+DEFAULT_TRAJECTORY_PATH = "BENCH_trajectory.json"
+
+
+def trajectory_row(report: Mapping[str, Any], *,
+                   date: str | None = None) -> dict[str, Any]:
+    """Condense one bench report into a dated trajectory line."""
+    import datetime
+
+    kernels = report.get("kernels", {})
+    walls = [float(row["wall_clock_s"]) for row in kernels.values()]
+    hits = [float(row["adj_hit_rate"]) for row in kernels.values()
+            if row.get("adj_hit_rate") is not None]
+    return {
+        "date": date or datetime.date.today().isoformat(),
+        "quick": bool(report.get("quick", False)),
+        "n_kernels": len(kernels),
+        "total_kernel_wall_s": sum(walls),
+        "max_kernel_wall_s": max(walls, default=0.0),
+        "mean_adj_hit_rate": (sum(hits) / len(hits)) if hits else 0.0,
+        "min_warm_speedups": _min_warm_speedups(report),
+    }
+
+
+def append_trajectory(report: Mapping[str, Any],
+                      path: str = DEFAULT_TRAJECTORY_PATH, *,
+                      date: str | None = None) -> dict[str, Any]:
+    """Append one dated summary row to the trajectory file; returns the row.
+
+    Creates the file on first use.  Rows are append-only — the point of
+    the trajectory is that every PR (and every CI smoke run on a fresh
+    checkout) leaves its perf data point behind chronologically.
+    """
+    import os
+    import tempfile
+
+    row = trajectory_row(report, date=date)
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        data = {"schema_version": TRAJECTORY_SCHEMA_VERSION, "rows": []}
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is corrupt ({exc}); repair or delete it to restart "
+            "the trajectory") from None
+    if not isinstance(data, dict) or not isinstance(data.get("rows"), list):
+        raise ValueError(
+            f"{path} is not a trajectory file (expected a 'rows' list)")
+    data["rows"].append(row)
+    # Write-temp-then-rename: an interrupted run must never leave the
+    # accumulated history truncated.
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                               prefix=".trajectory-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+    return row

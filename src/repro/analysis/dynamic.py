@@ -1,0 +1,330 @@
+"""Dynamic-graph benchmark: incremental recompute + cache invalidation.
+
+``repro update --bench`` (and :func:`run_dynamic_bench`) records the
+dynamic subsystem's trajectory point, ``BENCH_dynamic.json``:
+
+* **incremental** — applying an update batch through
+  :class:`~repro.dynamic.incremental.IncrementalState` versus a full
+  from-scratch recompute on the post-update graph, with the full path
+  kept as the bit-identity oracle;
+* **invalidation** — a warm resident session takes the same batch
+  through :meth:`~repro.session.Session.apply_updates`; the report
+  records how much of the warm CLaMPI cache survived the targeted
+  invalidation (``retained_warm_hits`` counts post-update hits beyond
+  what an equally-configured *cold* session gets on the same graph —
+  warmth that only exists because invalidation was surgical), and pins
+  the post-update cached run bit-identical to a cold full run;
+* **serving** — a mixed read/write workload through FIFO and
+  cache-affinity scheduling, proving per-query answers and per-key graph
+  histories identical between schedulers.
+
+The committed report must show >= 2x incremental-vs-full speedup and
+nonzero retained warm hits (:func:`check_dynamic_report`); CI re-runs
+``--quick`` sizes and gates them against the committed baseline with
+:func:`check_dynamic_against_baseline`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.benchreport import (
+    BENCH_NRANKS,
+    BENCH_THREADS,
+    bench_graphs,
+    write_report,
+)
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.local import triangles_min_vertex, triangles_per_vertex_batched
+from repro.dynamic import IncrementalState, random_update_batch
+from repro.graph.csr import CSRGraph
+from repro.serve.engine import ServeConfig, ServingEngine, answers_identical
+from repro.serve.scheduler import make_scheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.session import Session
+from repro.utils.rng import derive_seed
+
+DYNAMIC_SCHEMA_VERSION = 1
+
+#: Keys every dynamic report carries (pinned by tests and the CLI).
+DYNAMIC_REPORT_KEYS = ("schema_version", "quick", "nranks", "threads",
+                       "graphs", "incremental", "invalidation", "serving")
+
+#: Update-batch shape the recorded benchmark applies.
+BENCH_UPDATE_EDGES = 12
+BENCH_DELETE_FRACTION = 0.25
+BENCH_SEED = 7
+
+
+def _bench_cache_config(graph: CSRGraph) -> LCCConfig:
+    return LCCConfig(nranks=BENCH_NRANKS, threads=BENCH_THREADS,
+                     cache=CacheSpec.relative(graph.nbytes, 0.5, 1.0))
+
+
+def bench_incremental(graph: CSRGraph, *, n_edges: int = BENCH_UPDATE_EDGES,
+                      seed: int = BENCH_SEED) -> dict[str, Any]:
+    """Incremental fold vs full recompute for one update batch."""
+    state = IncrementalState.from_graph(graph)
+    batch = random_update_batch(graph, n_edges, BENCH_DELETE_FRACTION,
+                                seed=derive_seed(seed, "dyn-inc", graph.name))
+    t0 = time.perf_counter()
+    res = state.apply(batch)
+    incr_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    full_tpv = triangles_per_vertex_batched(state.graph)
+    full_tmin = triangles_min_vertex(state.graph)
+    full_wall = time.perf_counter() - t0
+
+    identical = (np.array_equal(full_tpv, state.tpv)
+                 and np.array_equal(full_tmin, state.tmin))
+    return {
+        "incremental_wall_s": incr_wall,
+        "full_wall_s": full_wall,
+        "speedup": full_wall / incr_wall,
+        "bit_identical": bool(identical),
+        "n_affected": int(res.affected.shape[0]),
+        "n_vertices": graph.n,
+        "edges_inserted": res.n_inserted,
+        "edges_deleted": res.n_deleted,
+    }
+
+
+def bench_invalidation(graph: CSRGraph, *, n_edges: int = BENCH_UPDATE_EDGES,
+                       seed: int = BENCH_SEED) -> dict[str, Any]:
+    """Warm-cache retention through one update on a resident session.
+
+    ``retained_warm_hits`` is exact and deterministic: post-update hits
+    minus the hits an identically-configured cold session scores on the
+    same (updated) graph — i.e. hits served by entries that survived the
+    invalidation.  ``post_update_bit_identical`` pins correctness: the
+    cached post-update answer equals the cold fresh one, bit for bit.
+    """
+    config = _bench_cache_config(graph)
+    batch = random_update_batch(graph, n_edges, BENCH_DELETE_FRACTION,
+                                seed=derive_seed(seed, "dyn-inv", graph.name))
+    with Session(graph, config) as session:
+        session.run("lcc", keep_cache=True)
+        warm = session.run("lcc", keep_cache=True)
+        outcome = session.apply_updates(batch)
+        post = session.run("lcc", keep_cache=True)
+    with Session(outcome.graph, config) as fresh:
+        cold = fresh.run("lcc", keep_cache=True)
+
+    warm_stats, post_stats, cold_stats = (
+        warm.adj_cache_stats, post.adj_cache_stats, cold.adj_cache_stats)
+    identical = (np.array_equal(post.lcc, cold.lcc)
+                 and np.array_equal(post.triangles_per_vertex,
+                                    cold.triangles_per_vertex)
+                 and int(post.global_triangles) == int(cold.global_triangles))
+    return {
+        "warm_hit_rate": float(warm_stats["hit_rate"]),
+        "post_update_hit_rate": float(post_stats["hit_rate"]),
+        "cold_hit_rate": float(cold_stats["hit_rate"]),
+        "retained_warm_hits": int(post_stats["hits"]) - int(cold_stats["hits"]),
+        "invalidated_entries": outcome.invalidated_entries,
+        "retained_entries": outcome.retained_entries,
+        "touched_ranks": len(outcome.touched_ranks),
+        "update_time_s": outcome.time,
+        "post_update_bit_identical": bool(identical),
+    }
+
+
+def bench_mixed_serving(quick: bool = False) -> dict[str, Any]:
+    """FIFO vs affinity on an update-mixed workload (barrier validation)."""
+    catalog = default_catalog(scale=0.3 if quick else 0.5)
+    spec = WorkloadSpec(
+        n_queries=48 if quick else 150, arrival_rate=2000.0,
+        n_tenants=8 if quick else 12, graphs=tuple(catalog),
+        seed=BENCH_SEED, update_mix=0.25, update_edges=8)
+    requests = generate_workload(spec, catalog)
+    config = ServeConfig(nranks=BENCH_NRANKS, threads=BENCH_THREADS,
+                         pool_capacity=3)
+    outcomes = {}
+    for name in ("fifo", "affinity"):
+        engine = ServingEngine(catalog, config, make_scheduler(name))
+        outcomes[name] = engine.serve(requests)
+    fifo, aff = outcomes["fifo"], outcomes["affinity"]
+    return {
+        "n_requests": len(requests),
+        "n_updates": fifo.aggregates["n_updates"],
+        "update_mix": spec.update_mix,
+        "results_identical": answers_identical(fifo, aff),
+        "throughput_ratio": (aff.aggregates["throughput_qps"]
+                             / fifo.aggregates["throughput_qps"]),
+        "schedulers": {name: {
+            "throughput_qps": o.aggregates["throughput_qps"],
+            "warm_fraction": o.aggregates["warm_fraction"],
+            "update_latency_mean_s": o.aggregates.get(
+                "update_latency_mean_s", 0.0),
+            "invalidated_entries": o.aggregates.get("invalidated_entries", 0),
+            "retained_entries_mean": o.aggregates.get(
+                "retained_entries_mean", 0.0),
+        } for name, o in outcomes.items()},
+    }
+
+
+def run_dynamic_bench(quick: bool = False,
+                      graphs: Mapping[str, CSRGraph] | None = None
+                      ) -> dict[str, Any]:
+    """Produce the full dynamic report dict (see module docstring)."""
+    graphs = dict(graphs) if graphs is not None else bench_graphs(quick)
+    report: dict[str, Any] = {
+        "schema_version": DYNAMIC_SCHEMA_VERSION,
+        "quick": quick,
+        "nranks": BENCH_NRANKS,
+        "threads": BENCH_THREADS,
+        "update_edges": BENCH_UPDATE_EDGES,
+        "graphs": {name: {"vertices": g.n, "edges": g.m}
+                   for name, g in graphs.items()},
+        "incremental": {},
+        "invalidation": {},
+        "serving": bench_mixed_serving(quick),
+    }
+    for gname, graph in graphs.items():
+        report["incremental"][gname] = bench_incremental(graph)
+        report["invalidation"][gname] = bench_invalidation(graph)
+    return report
+
+
+def check_dynamic_report(report: Mapping[str, Any], *,
+                         min_speedup: float | None = None) -> list[str]:
+    """The absolute gate a dynamic report must pass to be recorded.
+
+    Returns human-readable problems (empty list = pass): every
+    incremental row bit-identical with speedup above the floor (2x for
+    the committed full-size report; quick runs only require beating the
+    full recompute), every invalidation row correct after the update with
+    retained warm hits, and the mixed-serving run scheduler-independent.
+    """
+    problems = []
+    for key in DYNAMIC_REPORT_KEYS:
+        if key not in report:
+            problems.append(f"dynamic report missing key {key!r}")
+    if min_speedup is None:
+        min_speedup = 1.0 if report.get("quick") else 2.0
+    for gname, row in report.get("incremental", {}).items():
+        if not row.get("bit_identical", False):
+            problems.append(
+                f"incremental:{gname}: folded results are not bit-identical "
+                "to the full recompute")
+        if float(row.get("speedup", 0.0)) < min_speedup:
+            problems.append(
+                f"incremental:{gname}: speedup {row.get('speedup', 0.0):.2f}x "
+                f"below the {min_speedup:.2f}x floor")
+    for gname, row in report.get("invalidation", {}).items():
+        if not row.get("post_update_bit_identical", False):
+            problems.append(
+                f"invalidation:{gname}: post-update cached answer differs "
+                "from a cold full recompute")
+        if int(row.get("retained_warm_hits", 0)) <= 0:
+            problems.append(
+                f"invalidation:{gname}: no warm hits retained after "
+                "invalidation (cache effectively flushed)")
+        if int(row.get("invalidated_entries", 0)) <= 0:
+            problems.append(
+                f"invalidation:{gname}: update invalidated nothing "
+                "(stale entries would serve wrong data)")
+    serving = report.get("serving", {})
+    if serving.get("results_identical") is not True:
+        problems.append(
+            "serving: mixed read/write answers are not proven identical "
+            "between schedulers (update barrier broken?)")
+    return problems
+
+
+def check_dynamic_against_baseline(report: Mapping[str, Any],
+                                   baseline: Mapping[str, Any], *,
+                                   tolerance: float = 0.25) -> list[str]:
+    """CI gate: a fresh (quick) report versus the committed baseline.
+
+    Correctness clauses are absolute (bit-identity, retained hits,
+    scheduler independence); the speedup clause is relative — the fresh
+    worst-case incremental speedup must stay above ``tolerance`` times
+    the baseline's, mirroring ``repro bench --check`` (graph names are
+    deliberately not matched: CI runs quick sizes against the full-size
+    baseline).
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    problems = check_dynamic_report(report, min_speedup=0.0)
+
+    def min_speedup(rep) -> float:
+        rows = rep.get("incremental", {})
+        return min((float(r.get("speedup", 0.0)) for r in rows.values()),
+                   default=0.0)
+
+    if not baseline.get("incremental"):
+        problems.append(
+            "baseline has no incremental section (is --check pointed at a "
+            "BENCH_dynamic.json?)")
+        return problems
+    floor = tolerance * min_speedup(baseline)
+    fresh = min_speedup(report)
+    if fresh < floor:
+        problems.append(
+            f"incremental speedup {fresh:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:.0%} of the baseline's {min_speedup(baseline):.2f}x)")
+    return problems
+
+
+def write_dynamic_report(report: Mapping[str, Any], path: str, *,
+                         gate: bool = True) -> None:
+    """Gate-check (optionally), schema-check and write the dynamic report.
+
+    ``gate=False`` skips the absolute gate and only schema-checks — for
+    CI runs whose pass/fail verdict comes from
+    :func:`check_dynamic_against_baseline` instead (the measured report
+    should land on disk as an artifact either way).
+    """
+    if gate:
+        problems = check_dynamic_report(report)
+        if problems:
+            raise ValueError("; ".join(problems))
+    write_report(report, path, required_keys=DYNAMIC_REPORT_KEYS)
+
+
+# ---------------------------------------------------------------------------
+# One-off CLI runs (``repro update`` without --bench)
+# ---------------------------------------------------------------------------
+
+def one_off_update_run(graph: CSRGraph, *, nranks: int = 8, threads: int = 4,
+                       n_edges: int = 16, delete_fraction: float = 0.25,
+                       seed: int = 0) -> dict[str, Any]:
+    """Apply one random batch to a warm resident session; report everything."""
+    config = LCCConfig(nranks=nranks, threads=threads,
+                       cache=CacheSpec.relative(graph.nbytes, 0.5, 1.0))
+    batch = random_update_batch(graph, n_edges, delete_fraction, seed=seed)
+    state = IncrementalState.from_graph(graph)
+    with Session(graph, config) as session:
+        session.run("lcc", keep_cache=True)
+        warm = session.run("lcc", keep_cache=True)
+        t0 = time.perf_counter()
+        outcome = session.apply_updates(batch)
+        t0_inc = time.perf_counter()
+        state.apply(batch)
+        incr_wall = time.perf_counter() - t0_inc
+        post = session.run("lcc", keep_cache=True)
+        apply_wall = t0_inc - t0
+    identical = (np.array_equal(post.lcc, state.lcc)
+                 and int(post.global_triangles) == state.global_triangles)
+    return {
+        "graph": graph.name, "vertices": graph.n, "edges": graph.m,
+        "nranks": nranks,
+        "edges_inserted": outcome.delta.n_inserted,
+        "edges_deleted": outcome.delta.n_deleted,
+        "affected_vertices": int(outcome.affected.shape[0]),
+        "touched_ranks": len(outcome.touched_ranks),
+        "update_simulated_time_s": outcome.time,
+        "update_wall_s": apply_wall,
+        "incremental_wall_s": incr_wall,
+        "invalidated_entries": outcome.invalidated_entries,
+        "retained_entries": outcome.retained_entries,
+        "warm_hit_rate": float(warm.adj_cache_stats["hit_rate"]),
+        "post_update_hit_rate": float(post.adj_cache_stats["hit_rate"]),
+        "incremental_matches_query": bool(identical),
+        "global_triangles": int(post.global_triangles),
+    }

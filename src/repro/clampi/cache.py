@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -584,8 +584,8 @@ class ClampiCache:
         )
         return self.index.lookup(best_key)
 
-    def _evict(self, entry: CacheEntry, *, conflict: bool) -> None:
-        """Remove an entry from index, buffer and sampling list."""
+    def _remove_entry(self, entry: CacheEntry) -> None:
+        """Remove an entry from index, buffer and sampling list (no stats)."""
         self.index.remove(entry.key)
         self.allocator.free(entry.buffer_offset)
         pos = self._key_pos.pop(entry.key)
@@ -597,10 +597,43 @@ class ClampiCache:
         self._state_epoch += 1
         if self._batch_events is not None:
             self._batch_events.append(entry.key)
+
+    def _evict(self, entry: CacheEntry, *, conflict: bool) -> None:
+        """Remove an entry, counting it as a score-driven eviction."""
+        self._remove_entry(entry)
         if conflict:
             self.stats.conflict_evictions += 1
         else:
             self.stats.capacity_evictions += 1
+
+    # -- invalidation ---------------------------------------------------------------
+    def invalidate(self, keys: "Iterable[tuple]") -> tuple[int, int]:
+        """Targeted eviction: drop exactly the entries matching ``keys``.
+
+        The dynamic-graph subsystem calls this after an edge-update batch
+        with the ``(target, offset, count)`` triples whose remote data
+        changed, so stale entries are gone while the rest of the warm
+        cache stays resident (unlike :meth:`flush`, which drops
+        everything).  Keys not present are ignored.  Each dropped entry is
+        priced like an eviction (``eviction_overhead``) and counted in
+        ``stats.invalidations``.  Returns ``(entries_dropped,
+        bytes_dropped)``.
+        """
+        if self._batch_events is not None:
+            raise CacheError("invalidate() is not allowed during access_batch")
+        dropped = 0
+        dropped_bytes = 0
+        for key in keys:
+            entry = self.index.lookup(tuple(key))
+            if entry is None:
+                continue
+            self._remove_entry(entry)
+            dropped += 1
+            dropped_bytes += entry.nbytes
+            self.stats.mgmt_time += self.config.eviction_overhead
+        self.stats.invalidations += dropped
+        self.stats.invalidated_bytes += dropped_bytes
+        return dropped, dropped_bytes
 
     # -- maintenance ---------------------------------------------------------------
     def flush(self) -> None:

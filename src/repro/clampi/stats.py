@@ -24,6 +24,8 @@ class CacheStats:
     insert_failures: int = 0  # entry not cached (too big / nothing evictable)
     flushes: int = 0
     adaptive_resizes: int = 0
+    invalidations: int = 0    # entries evicted because their data changed
+    invalidated_bytes: int = 0
 
     bytes_served_from_cache: int = 0
     bytes_fetched: int = 0
@@ -73,6 +75,8 @@ class CacheStats:
             "hash_conflicts": self.hash_conflicts,
             "insert_failures": self.insert_failures,
             "flushes": self.flushes,
+            "invalidations": self.invalidations,
+            "invalidated_bytes": self.invalidated_bytes,
             "bytes_served_from_cache": self.bytes_served_from_cache,
             "bytes_fetched": self.bytes_fetched,
             "mgmt_time": self.mgmt_time,
@@ -83,8 +87,8 @@ class CacheStats:
         for name in (
             "hits", "misses", "compulsory_misses", "capacity_evictions",
             "conflict_evictions", "hash_conflicts", "insert_failures",
-            "flushes", "adaptive_resizes", "bytes_served_from_cache",
-            "bytes_fetched",
+            "flushes", "adaptive_resizes", "invalidations",
+            "invalidated_bytes", "bytes_served_from_cache", "bytes_fetched",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.mgmt_time += other.mgmt_time

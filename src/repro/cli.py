@@ -204,6 +204,7 @@ def cmd_run(args) -> int:
 def cmd_bench(args) -> int:
     from repro.analysis.benchreport import (
         DEFAULT_CHECK_TOLERANCE,
+        append_trajectory,
         check_against_baseline,
         load_report,
         run_bench,
@@ -239,6 +240,97 @@ def cmd_bench(args) -> int:
             return 1
         print(f"bench check OK against baseline {args.check}",
               file=sys.stderr)
+    # Record the trajectory row only for runs the gate accepted, so the
+    # committed cross-PR history never accumulates rejected data points.
+    trajectory = args.trajectory
+    if trajectory is None:
+        # Default: the trajectory lives next to the report it summarizes.
+        import os
+
+        trajectory = os.path.join(os.path.dirname(args.json) or ".",
+                                  "BENCH_trajectory.json")
+    if trajectory:
+        traj_row = append_trajectory(report, trajectory)
+        print(f"trajectory row ({traj_row['date']}) appended to {trajectory}",
+              file=sys.stderr)
+    return 0
+
+
+#: One-off defaults of ``repro update``, shared between the argument
+#: definitions and the ``--bench`` reject-customization guard so the two
+#: cannot drift apart.
+UPDATE_DEFAULTS = {"nranks": 8, "threads": 4, "edges": 16,
+                   "delete_fraction": 0.25, "scale": 1.0, "seed": 0}
+
+
+def cmd_update(args) -> int:
+    from repro.analysis.benchreport import load_report
+    from repro.analysis.dynamic import (
+        check_dynamic_against_baseline,
+        one_off_update_run,
+        run_dynamic_bench,
+        write_dynamic_report,
+    )
+
+    if args.bench:
+        ignored = [flag for flag, is_default in (
+            ("a dataset", args.dataset is None and args.input is None),
+            ("--directed", not args.directed),
+            ("--json", not args.json),
+            *((f"--{name.replace('_', '-')}",
+               getattr(args, name) == default)
+              for name, default in UPDATE_DEFAULTS.items()),
+        ) if not is_default]
+        if ignored:
+            # Same contract as serve --bench: the recorded benchmark is
+            # pinned, so flags that would be silently ignored are errors.
+            raise SystemExit(
+                f"update --bench uses the pinned benchmark graphs/config; "
+                f"{', '.join(ignored)} would be ignored — drop them (or run "
+                "without --bench for a one-off configurable run)")
+        baseline = load_report(args.check) if args.check else None
+        report = run_dynamic_bench(quick=args.quick)
+        # With a baseline, the tolerance gate below owns the verdict (and
+        # re-checks every correctness clause); the absolute gate would
+        # fail a noisy runner with a traceback before it could run.
+        write_dynamic_report(report, args.bench, gate=baseline is None)
+        for gname, row in report["incremental"].items():
+            print(f"{gname:12s} incremental {row['speedup']:6.1f}x vs full "
+                  f"recompute  affected {row['n_affected']}/{row['n_vertices']}"
+                  f"  (bit-identical: {row['bit_identical']})")
+        for gname, row in report["invalidation"].items():
+            print(f"{gname:12s} hit rate warm {row['warm_hit_rate']:.3f} -> "
+                  f"post-update {row['post_update_hit_rate']:.3f} "
+                  f"(cold {row['cold_hit_rate']:.3f})  "
+                  f"retained warm hits {row['retained_warm_hits']}")
+        srv = report["serving"]
+        print(f"serving      {srv['n_updates']} updates in "
+              f"{srv['n_requests']} requests  affinity/fifo "
+              f"{srv['throughput_ratio']:.2f}x  "
+              f"(answers identical: {srv['results_identical']})")
+        print(f"dynamic report written to {args.bench}", file=sys.stderr)
+        if baseline is not None:
+            problems = check_dynamic_against_baseline(report, baseline)
+            if problems:
+                for problem in problems:
+                    print(f"dynamic check: {problem}", file=sys.stderr)
+                print(f"dynamic check FAILED against baseline {args.check}",
+                      file=sys.stderr)
+                return 1
+            print(f"dynamic check OK against baseline {args.check}",
+                  file=sys.stderr)
+        return 0
+
+    if args.check or args.quick:
+        # A forgotten --bench must not look like a gate that passed.
+        raise SystemExit(
+            "--check/--quick only apply to the recorded benchmark; "
+            "add --bench PATH (or drop them for a one-off run)")
+    g = _load_graph(args)
+    payload = one_off_update_run(
+        g, nranks=args.nranks, threads=args.threads, n_edges=args.edges,
+        delete_fraction=args.delete_fraction, seed=args.seed)
+    _emit(args, payload)
     return 0
 
 
@@ -399,7 +491,38 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FRACTION",
                    help="fraction of the baseline's per-kernel worst warm "
                         "speedup the fresh run must retain (default: 0.25)")
+    p.add_argument("--trajectory", default=None, metavar="PATH",
+                   help="append a dated summary row to this perf-trajectory "
+                        "file (default: BENCH_trajectory.json next to the "
+                        "--json report)")
+    p.add_argument("--no-trajectory", dest="trajectory",
+                   action="store_const", const="",
+                   help="do not record a trajectory row")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "update",
+        help="dynamic-graph updates: incremental recompute + targeted "
+             "cache invalidation")
+    add_graph_args(p)
+    p.add_argument("--nranks", type=int, default=UPDATE_DEFAULTS["nranks"])
+    p.add_argument("--threads", type=int, default=UPDATE_DEFAULTS["threads"])
+    p.add_argument("--edges", type=int, default=UPDATE_DEFAULTS["edges"],
+                   help="edges per synthetic update batch")
+    p.add_argument("--delete-fraction", type=float,
+                   default=UPDATE_DEFAULTS["delete_fraction"],
+                   help="fraction of the batch that deletes existing edges")
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="record the dynamic-graph benchmark "
+                        "(BENCH_dynamic.json) instead of a one-off run")
+    p.add_argument("--quick", action="store_true",
+                   help="small --bench sizes (CI smoke run)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="regression gate: fail if the fresh --bench run "
+                        "loses bit-identity, retains no warm hits, or its "
+                        "incremental speedup drops below tolerance x this "
+                        "committed baseline")
+    p.set_defaults(fn=cmd_update)
 
     p = sub.add_parser(
         "serve",

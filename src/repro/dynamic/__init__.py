@@ -1,0 +1,62 @@
+"""Dynamic graphs: batched edge updates over the resident cluster.
+
+The write path of the system.  Three layers:
+
+* :mod:`repro.dynamic.delta` — validated insert/delete batches
+  (:class:`UpdateBatch`, :class:`DeltaBuffer`) and the vectorized CSR
+  merge :func:`apply_delta`, which also derives the affected-vertex set;
+* :mod:`repro.dynamic.incremental` — :class:`IncrementalState`, folding
+  batches into resident per-vertex LCC/TC results by recomputing only
+  affected vertices (bit-identical to a full recompute);
+* :mod:`repro.dynamic.invalidate` — exact CLaMPI invalidation: which
+  ``(target, offset, count)`` cache keys went stale when a rank's CSR
+  slice was rebuilt, keeping the rest of the warm cache alive.
+
+:meth:`repro.session.Session.apply_updates` ties them to the resident
+cluster; :mod:`repro.serve` adds update traffic to the serving workload.
+
+Quickstart::
+
+    from repro import Session
+    from repro.dynamic import UpdateBatch, random_update_batch
+
+    with Session(graph, config) as session:
+        warm = session.run("lcc", keep_cache=True)
+        outcome = session.apply_updates(
+            UpdateBatch.build(inserts=[(0, 7), (3, 9)], n=graph.n))
+        fresh = session.run("lcc", keep_cache=True)   # warm where unaffected
+"""
+
+from repro.dynamic.delta import (
+    DeltaBuffer,
+    DeltaResult,
+    UpdateBatch,
+    apply_delta,
+    random_update_arrays,
+    random_update_batch,
+)
+from repro.dynamic.incremental import (
+    IncrementalState,
+    triangles_min_vertex_subset,
+    triangles_per_vertex_subset,
+)
+from repro.dynamic.invalidate import (
+    ResyncPlan,
+    resync_distributed,
+    stale_part_keys,
+)
+
+__all__ = [
+    "DeltaBuffer",
+    "DeltaResult",
+    "IncrementalState",
+    "ResyncPlan",
+    "UpdateBatch",
+    "apply_delta",
+    "random_update_arrays",
+    "random_update_batch",
+    "resync_distributed",
+    "stale_part_keys",
+    "triangles_min_vertex_subset",
+    "triangles_per_vertex_subset",
+]

@@ -1,0 +1,111 @@
+"""Targeted CLaMPI invalidation after an edge-update batch.
+
+The cache keys remote gets by ``(target, offset, count)``; after a batch
+is applied and a rank's CSR slice rebuilt, three kinds of entries can go
+stale:
+
+* **offsets entries** — key ``(target, local_index, 2)``, data the
+  ``(start, end)`` pair: stale whenever the vertex's pair changed (its
+  own degree changed, or an earlier vertex's did and shifted it);
+* **adjacency entries** — key ``(target, start, count)``: stale whenever
+  the new window no longer holds the same bytes at that position — the
+  vertex's list changed, or the list was shifted by an earlier change;
+* everything else — entries for untouched ranks, and entries before the
+  first change within a touched rank — stays **valid and warm**.
+
+The retention criterion is *positional*: an adjacency entry survives iff
+the new window content at its exact ``[start, start + count)`` range is
+identical to what was cached, so a later read of that key — whichever
+vertex it now belongs to — is served correctly.  This makes the
+invalidation exact, not heuristic: tests cross-check post-update cached
+runs against cold full recomputes bit-for-bit.
+
+(Entries that merely *shifted* are dropped rather than rekeyed; rekeying
+them to their new offsets would retain more warmth and is an open item.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, gather_ranges
+from repro.graph.distributed import DistributedCSR
+from repro.graph.partition import split_csr_rank
+
+__all__ = ["ResyncPlan", "resync_distributed", "stale_part_keys"]
+
+
+def stale_part_keys(target: int, old_offsets: np.ndarray,
+                    old_adjacency: np.ndarray, new_offsets: np.ndarray,
+                    new_adjacency: np.ndarray
+                    ) -> tuple[list[tuple], list[tuple]]:
+    """Cache keys invalidated by swapping one rank's CSR slice.
+
+    Returns ``(offsets_keys, adjacency_keys)`` for window reads targeting
+    ``target``.  Keys are computed against the *old* layout (that is what
+    sits in the caches); an entry is kept only if the new layout serves
+    byte-identical data for its key.
+    """
+    old_s, old_e = old_offsets[:-1], old_offsets[1:]
+    new_s, new_e = new_offsets[:-1], new_offsets[1:]
+    pair_ok = (old_s == new_s) & (old_e == new_e)
+
+    row_ok = pair_ok.copy()
+    cand = np.flatnonzero(pair_ok & (old_e > old_s))
+    if cand.size:
+        # Same (start, end) in both layouts: compare content in place.
+        lens = (old_e - old_s)[cand]
+        old_rows, bounds = gather_ranges(old_adjacency, old_s[cand], lens)
+        new_rows, _ = gather_ranges(new_adjacency, old_s[cand], lens)
+        changed = np.add.reduceat(old_rows != new_rows, bounds[:-1]) > 0
+        row_ok[cand[changed]] = False
+
+    off_keys = [(target, int(li), 2) for li in np.flatnonzero(~pair_ok)]
+    adj_keys = [(target, int(old_s[li]), int(old_e[li] - old_s[li]))
+                for li in np.flatnonzero(~row_ok)]
+    return off_keys, adj_keys
+
+
+@dataclass
+class ResyncPlan:
+    """What resyncing a resident cluster to a new graph did / must do."""
+
+    touched_ranks: tuple[int, ...]
+    offsets_keys: list[tuple] = field(default_factory=list)
+    adjacency_keys: list[tuple] = field(default_factory=list)
+    rebuilt_bytes_by_rank: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def rebuilt_bytes(self) -> int:
+        return sum(self.rebuilt_bytes_by_rank.values())
+
+
+def resync_distributed(dist: DistributedCSR, new_graph: CSRGraph,
+                       endpoints: np.ndarray) -> ResyncPlan:
+    """Swap the touched ranks' slices of a resident cluster in place.
+
+    Only ranks owning an endpoint of a changed edge are rebuilt (a
+    vertex's CSR row changes only if its own edge set did); every other
+    rank's windows — and any cache entries pointing at them — are left
+    untouched.  Returns the plan with the per-target stale keys; the
+    caller pushes those through every rank's caches and then calls
+    :meth:`~repro.graph.distributed.DistributedCSR.rebind_graph`.
+    """
+    if endpoints.size == 0:
+        return ResyncPlan(touched_ranks=())
+    part = dist.partition
+    touched = np.unique(part.owners(np.asarray(endpoints, dtype=np.int64)))
+    plan = ResyncPlan(touched_ranks=tuple(int(r) for r in touched))
+    for rank in plan.touched_ranks:
+        old_off = dist.w_offsets.local_part(rank)
+        old_adj = dist.w_adj.local_part(rank)
+        new_off, new_adj = split_csr_rank(new_graph, part, rank)
+        off_keys, adj_keys = stale_part_keys(rank, old_off, old_adj,
+                                             new_off, new_adj)
+        plan.offsets_keys.extend(off_keys)
+        plan.adjacency_keys.extend(adj_keys)
+        dist.replace_rank_slice(rank, new_off, new_adj)
+        plan.rebuilt_bytes_by_rank[rank] = int(new_off.nbytes + new_adj.nbytes)
+    return plan

@@ -27,6 +27,42 @@ OFFSET_DTYPE = np.int64
 VERTEX_DTYPE = np.int32
 
 
+def gather_ranges(values: np.ndarray, starts: np.ndarray, lens: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``values[s:s+l]`` for every (start, length) pair.
+
+    The vectorized ragged gather used wherever a set of CSR rows must be
+    pulled into one array (partition slicing, neighborhood gathers,
+    invalidation content checks).  Returns ``(gathered, bounds)`` with
+    ``bounds`` of length ``len(starts) + 1`` such that
+    ``gathered[bounds[i]:bounds[i+1]]`` is the i-th range.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    bounds = np.zeros(starts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lens, out=bounds[1:])
+    total = int(bounds[-1])
+    if total == 0:
+        return values[:0], bounds
+    idx = (np.arange(total, dtype=np.int64)
+           - np.repeat(bounds[:-1], lens) + np.repeat(starts, lens))
+    return values[idx], bounds
+
+
+def _check_vertex_range(n: int) -> None:
+    """Reject vertex counts whose ids cannot be stored in VERTEX_DTYPE.
+
+    Without this guard, ids >= 2**31 silently wrap when the adjacency is
+    cast to int32 (a wrap to a *positive* id corrupts the graph without
+    tripping any CSR invariant).
+    """
+    limit = int(np.iinfo(VERTEX_DTYPE).max)
+    if n - 1 > limit:
+        raise GraphFormatError(
+            f"vertex id {n - 1} does not fit the int32 adjacency dtype "
+            f"(max representable id is {limit})")
+
+
 class CSRGraph:
     """Immutable CSR graph."""
 
@@ -59,10 +95,14 @@ class CSRGraph:
         e = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
         if e.size == 0:
             nv = int(n or 0)
+            _check_vertex_range(nv)
             return cls(np.zeros(nv + 1, dtype=OFFSET_DTYPE),
                        np.empty(0, dtype=VERTEX_DTYPE), directed, name)
         if e.ndim != 2 or e.shape[1] != 2:
             raise GraphFormatError(f"edges must be (m, 2), got {e.shape}")
+        if e.dtype.kind not in "iu":
+            raise GraphFormatError(
+                f"edges must be an integer array, got dtype {e.dtype}")
         if e.min() < 0:
             raise GraphFormatError("negative vertex id in edge list")
         nv = int(n if n is not None else e.max() + 1)
@@ -70,6 +110,7 @@ class CSRGraph:
             raise GraphFormatError(
                 f"vertex id {e.max()} out of range for n={nv}"
             )
+        _check_vertex_range(nv)
         src = e[:, 0].astype(np.int64)
         dst = e[:, 1].astype(np.int64)
         keep = src != dst  # drop self-loops

@@ -75,6 +75,38 @@ class DistributedCSR:
                 if cache is not None:
                     cache.on_epoch_close()
 
+    # -- dynamic updates -----------------------------------------------------
+    def replace_rank_slice(self, rank: int, offsets: np.ndarray,
+                           adjacency: np.ndarray) -> None:
+        """Swap one rank's exposed CSR slice (dynamic-graph resync).
+
+        The caller (``Session.apply_updates``) is responsible for
+        invalidating any CLaMPI entries that cached data from the old
+        slice and for calling :meth:`rebind_graph` once every touched
+        rank is resynced.
+        """
+        if offsets.shape[0] != self.w_offsets.part_len(rank):
+            raise PartitionError(
+                f"rank {rank} offsets length changed "
+                f"({self.w_offsets.part_len(rank)} -> {offsets.shape[0]}); "
+                "updates may not add or remove vertices")
+        if int(offsets[-1]) != adjacency.shape[0]:
+            raise PartitionError(
+                f"rank {rank} slice inconsistent: offsets end at "
+                f"{int(offsets[-1])} but adjacency has "
+                f"{adjacency.shape[0]} entries")
+        self.w_offsets.replace_part(rank, offsets)
+        self.w_adj.replace_part(rank, adjacency)
+
+    def rebind_graph(self, graph: CSRGraph) -> None:
+        """Point at the post-update graph and drop topology-derived memos."""
+        if graph.n != self.partition.n:
+            raise PartitionError(
+                f"updated graph has {graph.n} vertices, partition covers "
+                f"{self.partition.n}")
+        self.graph = graph
+        self._replay_memo.clear()
+
     # -- vertex access -------------------------------------------------------
     def local_vertices(self, rank: int) -> np.ndarray:
         """Global ids of the vertices ``rank`` owns."""

@@ -19,7 +19,7 @@ import abc
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE, gather_ranges
 from repro.utils.errors import PartitionError
 
 
@@ -131,6 +131,33 @@ class CyclicPartition1D(Partition):
         return np.arange(rank, self.n, self.nranks, dtype=np.int64)
 
 
+def split_csr_rank(graph: CSRGraph, partition: Partition, rank: int
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """One rank's (offsets, adjacency) slice of a global CSR.
+
+    The per-rank building block of :func:`split_csr`; the dynamic-graph
+    subsystem also calls it directly to rebuild only the ranks an update
+    batch touched.
+    """
+    vs = partition.local_vertices(rank)
+    if vs.size == 0:
+        return np.zeros(1, dtype=OFFSET_DTYPE), np.empty(0, dtype=VERTEX_DTYPE)
+    starts = graph.offsets[vs]
+    degs = graph.offsets[vs + 1] - starts
+    local_offsets = np.zeros(vs.shape[0] + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(degs, out=local_offsets[1:])
+    total = int(local_offsets[-1])
+    if total == 0:
+        adj = np.empty(0, dtype=VERTEX_DTYPE)
+    elif vs[-1] - vs[0] + 1 == vs.shape[0]:
+        # Contiguous range (block partition): a single slice suffices.
+        adj = graph.adjacency[graph.offsets[vs[0]]:graph.offsets[vs[-1] + 1]].copy()
+    else:
+        # Gather each owned vertex's global adjacency row.
+        adj, _ = gather_ranges(graph.adjacency, starts, degs)
+    return local_offsets, np.ascontiguousarray(adj, dtype=VERTEX_DTYPE)
+
+
 def split_csr(graph: CSRGraph, partition: Partition
               ) -> tuple[list[np.ndarray], list[np.ndarray]]:
     """Slice a global CSR into per-rank (offsets, adjacency) arrays.
@@ -143,27 +170,7 @@ def split_csr(graph: CSRGraph, partition: Partition
     offsets_parts: list[np.ndarray] = []
     adjacency_parts: list[np.ndarray] = []
     for rank in range(partition.nranks):
-        vs = partition.local_vertices(rank)
-        if vs.size == 0:
-            offsets_parts.append(np.zeros(1, dtype=OFFSET_DTYPE))
-            adjacency_parts.append(np.empty(0, dtype=VERTEX_DTYPE))
-            continue
-        starts = graph.offsets[vs]
-        degs = graph.offsets[vs + 1] - starts
-        local_offsets = np.zeros(vs.shape[0] + 1, dtype=OFFSET_DTYPE)
-        np.cumsum(degs, out=local_offsets[1:])
-        total = int(local_offsets[-1])
-        if total == 0:
-            adj = np.empty(0, dtype=VERTEX_DTYPE)
-        elif vs[-1] - vs[0] + 1 == vs.shape[0]:
-            # Contiguous range (block partition): a single slice suffices.
-            adj = graph.adjacency[graph.offsets[vs[0]]:graph.offsets[vs[-1] + 1]].copy()
-        else:
-            # Gather: global adjacency index of each local adjacency slot.
-            gather = (np.arange(total, dtype=np.int64)
-                      - np.repeat(local_offsets[:-1], degs)
-                      + np.repeat(starts, degs))
-            adj = graph.adjacency[gather]
-        offsets_parts.append(local_offsets)
-        adjacency_parts.append(np.ascontiguousarray(adj, dtype=VERTEX_DTYPE))
+        offs, adj = split_csr_rank(graph, partition, rank)
+        offsets_parts.append(offs)
+        adjacency_parts.append(adj)
     return offsets_parts, adjacency_parts

@@ -129,6 +129,29 @@ class Window:
         self._check_rank(rank)
         return self._parts[rank]
 
+    def replace_part(self, rank: int, part: np.ndarray) -> np.ndarray:
+        """Swap ``rank``'s exposed region for a new array (dynamic graphs).
+
+        Models detaching and re-attaching a window region after its
+        backing memory was rebuilt (``MPI_Win_detach``/``attach`` on a
+        dynamic window).  Length may change; dtype may not.  Epoch state
+        is untouched — callers coordinate invalidation of any caches that
+        hold data from the old region.  Returns the old array.
+        """
+        self._check_rank(rank)
+        a = np.asarray(part)
+        if a.ndim != 1:
+            raise WindowError(
+                f"window {self.name!r}: replacement region for rank {rank} "
+                f"must be 1-D, got shape {a.shape}")
+        if a.dtype != self.dtype:
+            raise WindowError(
+                f"window {self.name!r}: replacement dtype {a.dtype} does not "
+                f"match window dtype {self.dtype}")
+        old = self._parts[rank]
+        self._parts[rank] = np.ascontiguousarray(a)
+        return old
+
     # -- geometry ------------------------------------------------------------
     def part_len(self, rank: int) -> int:
         """Number of elements exposed by ``rank``."""

@@ -30,14 +30,26 @@ Quickstart::
 committed ``BENCH_serve.json``.
 """
 
-from repro.serve.engine import QueryRecord, ServeConfig, ServeOutcome, ServingEngine
+from repro.serve.engine import (
+    QueryRecord,
+    ServeConfig,
+    ServeOutcome,
+    ServingEngine,
+    UpdateRecord,
+)
 from repro.serve.pool import PoolStats, SessionPool
-from repro.serve.request import QueryRequest, SessionKey
+from repro.serve.request import (
+    QueryRequest,
+    SessionKey,
+    UpdateRequest,
+    arrival_order,
+)
 from repro.serve.scheduler import (
     SCHEDULERS,
     CacheAffinityScheduler,
     FIFOScheduler,
     Scheduler,
+    eligible_requests,
     make_scheduler,
 )
 from repro.serve.workload import (
@@ -60,8 +72,12 @@ __all__ = [
     "ServingEngine",
     "SessionKey",
     "SessionPool",
+    "UpdateRecord",
+    "UpdateRequest",
     "WorkloadSpec",
+    "arrival_order",
     "default_catalog",
+    "eligible_requests",
     "generate_workload",
     "make_scheduler",
     "zipf_weights",

@@ -17,6 +17,17 @@ or evicting if needed), runs with ``keep_cache=True``, and retires with
 ``latency = finish - arrival`` on the simulated clock.  Answers are
 digested (SHA-1 over the result arrays) so scheduler runs can be checked
 for bit-identical per-query results.
+
+**Updates** flow through the same loop but are accounted separately: an
+:class:`~repro.serve.request.UpdateRequest` applies its edge batch to the
+key's resident session (``Session.apply_updates`` — slice resync plus
+targeted CLaMPI invalidation), pins the post-update graph on the pool so
+eviction cannot roll a key back, and retires with the update's simulated
+cost.  The queue is pre-filtered through the per-key update fences
+(:func:`~repro.serve.scheduler.eligible_requests`) before any scheduler
+pick, and update digests cover the resulting graph bytes — so the
+identical-answers check now also proves every scheduler serialized each
+key's reads and writes the same way.
 """
 
 from __future__ import annotations
@@ -29,10 +40,11 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import CacheSpec, LCCConfig
+from repro.dynamic.delta import UpdateBatch
 from repro.graph.csr import CSRGraph
 from repro.serve.pool import SessionPool
-from repro.serve.request import QueryRequest
-from repro.serve.scheduler import FIFOScheduler, Scheduler
+from repro.serve.request import QueryRequest, arrival_order
+from repro.serve.scheduler import FIFOScheduler, Scheduler, eligible_requests
 from repro.utils.errors import ConfigError
 
 
@@ -87,6 +99,31 @@ class QueryRecord:
 
 
 @dataclass
+class UpdateRecord:
+    """One applied update batch, on both clocks."""
+
+    qid: int
+    tenant: int
+    graph: str
+    arrival: float
+    start: float
+    finish: float
+    service_s: float      # simulated cost of resync + invalidation
+    wall_s: float
+    built_session: bool   # the update had to build its session first
+    n_inserted: int
+    n_deleted: int
+    n_affected: int       # vertices whose results may have changed
+    invalidated_entries: int
+    retained_entries: int
+    digest: str           # SHA-1 over the post-update graph bytes
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
 class ServeOutcome:
     """Everything one (workload, scheduler) serving run produced."""
 
@@ -95,10 +132,18 @@ class ServeOutcome:
     pool_stats: dict
     wall_clock_s: float
     aggregates: dict = field(default_factory=dict)
+    update_records: list[UpdateRecord] = field(default_factory=list)
 
     def digests(self) -> dict[int, str]:
-        """qid -> answer digest (scheduler-order independent)."""
-        return {r.qid: r.digest for r in self.records}
+        """qid -> answer/graph digest (scheduler-order independent).
+
+        Covers queries *and* updates: equal dicts prove both that every
+        query returned the same bits and that every key went through the
+        same graph-version history.
+        """
+        d = {r.qid: r.digest for r in self.records}
+        d.update({r.qid: r.digest for r in self.update_records})
+        return d
 
 
 def answers_identical(a: ServeOutcome, b: ServeOutcome) -> bool:
@@ -116,14 +161,53 @@ def _digest(result: Any) -> str:
     return h.hexdigest()
 
 
+def _graph_digest(graph: CSRGraph) -> str:
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(b"|")
+    h.update(np.ascontiguousarray(graph.adjacency).tobytes())
+    return h.hexdigest()
+
+
 def summarize(records: list[QueryRecord], pool_stats: dict,
-              wall_clock_s: float) -> dict[str, Any]:
+              wall_clock_s: float,
+              update_records: list[UpdateRecord] = ()) -> dict[str, Any]:
     """Aggregate one serving run into the report row the benches commit."""
-    if not records:
+    if not records and not update_records:
         raise ConfigError("cannot summarize an empty serving run")
+    update_aggs: dict[str, Any] = {"n_updates": len(update_records)}
+    if update_records:
+        ulat = np.array([u.latency for u in update_records])
+        update_aggs.update({
+            "update_latency_mean_s": float(ulat.mean()),
+            "update_latency_p95_s": float(np.percentile(ulat, 95)),
+            "update_service_total_s": float(
+                sum(u.service_s for u in update_records)),
+            "edges_inserted": int(sum(u.n_inserted for u in update_records)),
+            "edges_deleted": int(sum(u.n_deleted for u in update_records)),
+            "invalidated_entries": int(
+                sum(u.invalidated_entries for u in update_records)),
+            "retained_entries_mean": float(np.mean(
+                [u.retained_entries for u in update_records])),
+        })
+    if not records:
+        # A pure-write trace: no query aggregates, but the work done is
+        # still reported rather than thrown away.
+        return {
+            **update_aggs,
+            "n_queries": 0,
+            "makespan_s": float(max(u.finish for u in update_records)),
+            "session_builds": pool_stats["builds"],
+            "session_evictions": pool_stats["evictions"],
+            "session_reuses": pool_stats["reuses"],
+            "wall_clock_s": float(wall_clock_s),
+        }
     lat = np.array([r.latency for r in records])
-    makespan = max(r.finish for r in records)
+    # Updates share the simulated server clock, so a trace ending in an
+    # update really ends there — makespan covers both record kinds.
+    makespan = max(r.finish for r in (*records, *update_records))
     return {
+        **update_aggs,
         "n_queries": len(records),
         "makespan_s": float(makespan),
         "throughput_qps": float(len(records) / makespan),
@@ -165,8 +249,9 @@ class ServingEngine:
         config, scheduler = self.config, self.scheduler
         scheduler.reset()
         records: list[QueryRecord] = []
-        pending = sorted(requests)          # (arrival, qid) order
-        queue: list[QueryRequest] = []
+        update_records: list[UpdateRecord] = []
+        pending = sorted(requests, key=arrival_order)
+        queue: list = []
         clock = 0.0
         last_key = None
         t_run = time.perf_counter()
@@ -178,10 +263,36 @@ class ServingEngine:
                     clock = max(clock, pending[0].arrival)
                 while pending and pending[0].arrival <= clock:
                     queue.append(pending.pop(0))
-                req = scheduler.pick(queue, last_key, pool)
+                # Per-key update fences are enforced here, before any
+                # policy runs: no scheduler can reorder a key's reads
+                # around its writes.
+                req = scheduler.pick(eligible_requests(queue), last_key, pool)
                 queue.remove(req)
                 t0 = time.perf_counter()
                 session, built = pool.acquire(req.session_key)
+                if req.is_update:
+                    batch = UpdateBatch.build(
+                        req.inserts, req.deletes, n=session.graph.n,
+                        directed=session.graph.directed)
+                    upd = session.apply_updates(batch)
+                    pool.pin_graph(req.session_key, session.graph)
+                    wall = time.perf_counter() - t0
+                    service = float(upd.time)
+                    start = max(clock, req.arrival)
+                    finish = start + service
+                    clock = finish
+                    last_key = req.session_key
+                    update_records.append(UpdateRecord(
+                        qid=req.qid, tenant=req.tenant, graph=req.graph,
+                        arrival=req.arrival, start=start, finish=finish,
+                        service_s=service, wall_s=wall, built_session=built,
+                        n_inserted=upd.delta.n_inserted,
+                        n_deleted=upd.delta.n_deleted,
+                        n_affected=int(upd.affected.shape[0]),
+                        invalidated_entries=upd.invalidated_entries,
+                        retained_entries=upd.retained_entries,
+                        digest=_graph_digest(session.graph)))
+                    continue
                 result = session.run(req.kernel, keep_cache=True)
                 wall = time.perf_counter() - t0
                 service = float(result.time)
@@ -201,7 +312,10 @@ class ServingEngine:
             pool_stats = pool.stats.as_dict()
         wall_clock = time.perf_counter() - t_run
         records.sort(key=lambda r: r.qid)
+        update_records.sort(key=lambda r: r.qid)
         outcome = ServeOutcome(scheduler=scheduler.name, records=records,
-                               pool_stats=pool_stats, wall_clock_s=wall_clock)
-        outcome.aggregates = summarize(records, pool_stats, wall_clock)
+                               pool_stats=pool_stats, wall_clock_s=wall_clock,
+                               update_records=update_records)
+        outcome.aggregates = summarize(records, pool_stats, wall_clock,
+                                       update_records)
         return outcome

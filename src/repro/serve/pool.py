@@ -70,6 +70,7 @@ class SessionPool:
         self.policy = policy
         self.stats = PoolStats()
         self._entries: dict[SessionKey, _Entry] = {}
+        self._graphs: dict[SessionKey, CSRGraph] = {}  # post-update versions
         self._clock = 0  # logical use counter for LRU recency
 
     # -- introspection -------------------------------------------------------
@@ -83,6 +84,30 @@ class SessionPool:
         """Resident keys, least-recently-used first."""
         return sorted(self._entries, key=lambda k: self._entries[k].last_used)
 
+    # -- dynamic graph state -------------------------------------------------
+    def pin_graph(self, key: SessionKey, graph: CSRGraph) -> None:
+        """Record a key's post-update graph version.
+
+        Update batches mutate a *session*; eviction closes sessions.  The
+        pinned graph is what a future rebuild of the key starts from, so
+        the key's graph history is a property of the workload, not of
+        pool-eviction luck — a prerequisite for scheduler-independent
+        answers.
+        """
+        self._graphs[key] = graph
+
+    def graph_for(self, key: SessionKey) -> CSRGraph:
+        """The key's current graph: pinned post-update version or catalog."""
+        if key in self._graphs:
+            return self._graphs[key]
+        graph_name = key[0]
+        try:
+            return self.catalog[graph_name]
+        except KeyError:
+            raise ConfigError(
+                f"graph {graph_name!r} is not in the serving catalog "
+                f"({', '.join(sorted(self.catalog))})") from None
+
     # -- the one mutating operation -----------------------------------------
     def acquire(self, key: SessionKey) -> tuple[Session, bool]:
         """Return ``(session, built)`` for a key, evicting if necessary."""
@@ -90,15 +115,10 @@ class SessionPool:
         entry = self._entries.get(key)
         built = entry is None
         if built:
-            graph_name, overrides = key
-            try:
-                graph = self.catalog[graph_name]
-            except KeyError:
-                # Validate before evicting: a bad key must not cost a
-                # warm resident session.
-                raise ConfigError(
-                    f"graph {graph_name!r} is not in the serving catalog "
-                    f"({', '.join(sorted(self.catalog))})") from None
+            _, overrides = key
+            # Validate before evicting: a bad key must not cost a warm
+            # resident session.
+            graph = self.graph_for(key)
             if len(self._entries) >= self.capacity:
                 self._evict_one()
             entry = _Entry(Session(graph,

@@ -1,11 +1,19 @@
-"""The unit of work a serving engine schedules: one query request.
+"""The units of work a serving engine schedules: queries and updates.
 
-A request names *what* to run (kernel), *where* (a catalog graph plus the
-config overrides that shape its resident cluster) and *when* it enters
-the system (simulated arrival time).  Two requests with equal
-:attr:`~QueryRequest.session_key` can be served by the same resident
-:class:`~repro.session.Session` — that equivalence is what the
+A :class:`QueryRequest` names *what* to run (kernel), *where* (a catalog
+graph plus the config overrides that shape its resident cluster) and
+*when* it enters the system (simulated arrival time).  Two requests with
+equal :attr:`~QueryRequest.session_key` can be served by the same
+resident :class:`~repro.session.Session` — that equivalence is what the
 cache-affinity scheduler exploits and what the session pool keys on.
+
+An :class:`UpdateRequest` carries an edge-update batch for its session
+key instead of a kernel.  Updates are **barriers** for their key: every
+earlier-arrived request on the key must be served before the update, and
+no later-arrived one may overtake it (see
+:func:`repro.serve.scheduler.eligible_requests`).  That per-key fencing
+is exactly what keeps per-query answers scheduler-independent once the
+workload mutates graphs.
 """
 
 from __future__ import annotations
@@ -25,13 +33,18 @@ def freeze_overrides(overrides: Mapping[str, Any] | None) -> tuple:
     return tuple(sorted(overrides.items()))
 
 
-@dataclass(frozen=True, order=True)
+def arrival_order(request: "QueryRequest | UpdateRequest") -> tuple:
+    """Sort key yielding FIFO service order across request types."""
+    return (request.arrival, request.qid)
+
+
+@dataclass(frozen=True)
 class QueryRequest:
     """One tenant query against one resident cluster.
 
-    Ordering is (arrival, qid) so sorting a batch of requests yields the
-    FIFO service order; ``qid`` breaks simultaneous-arrival ties
-    deterministically.
+    Ordering is (arrival, qid) — across request *types*, so a mixed
+    query/update trace sorts into FIFO service order directly; ``qid``
+    breaks simultaneous-arrival ties deterministically.
     """
 
     arrival: float                      # simulated seconds since epoch 0
@@ -40,6 +53,9 @@ class QueryRequest:
     graph: str = field(compare=False)   # catalog graph name
     kernel: str = field(compare=False, default="lcc")
     overrides: tuple = field(compare=False, default=())
+
+    #: Discriminator the engine and schedulers branch on.
+    is_update = False
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -55,3 +71,42 @@ class QueryRequest:
     def override_dict(self) -> dict[str, Any]:
         """The config overrides as a plain mapping."""
         return dict(self.overrides)
+
+    def __lt__(self, other) -> bool:
+        return arrival_order(self) < arrival_order(other)
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One tenant's edge-update batch against one resident cluster.
+
+    ``inserts`` / ``deletes`` are raw ``(k, 2)`` edge arrays, materialized
+    at workload-generation time so the batch content is independent of
+    service order; they are normalized into an
+    :class:`~repro.dynamic.delta.UpdateBatch` (idempotent, non-strict)
+    when the engine applies them.
+    """
+
+    arrival: float
+    qid: int
+    tenant: int = field(compare=False)
+    graph: str = field(compare=False)
+    overrides: tuple = field(compare=False, default=())
+    inserts: Any = field(compare=False, default=None, repr=False)
+    deletes: Any = field(compare=False, default=None, repr=False)
+
+    is_update = True
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ConfigError(f"arrival must be >= 0, got {self.arrival}")
+        if self.qid < 0:
+            raise ConfigError(f"qid must be >= 0, got {self.qid}")
+
+    @property
+    def session_key(self) -> SessionKey:
+        """The resident cluster this update mutates (and fences)."""
+        return (self.graph, self.overrides)
+
+    def __lt__(self, other) -> bool:
+        return arrival_order(self) < arrival_order(other)

@@ -16,13 +16,44 @@ the session-pool churn, and therefore latency and throughput.
   with the best (resident, backlog, age) score.  Batching amortizes one
   cold partition + compulsory-miss pass over a run of warm queries and
   keeps hot sessions from being evicted by one-off tail keys.
+
+With update traffic in the mix, an update is a **barrier for its session
+key** (:func:`eligible_requests`): requests on the key that arrived
+before it must drain first, requests after it must wait — so every query
+observes the graph version its arrival order dictates, regardless of the
+scheduling policy, and answers stay scheduler-independent.  The engine
+pre-filters the queue through this fence before any ``pick``, making the
+guarantee structural rather than per-policy.
 """
 
 from __future__ import annotations
 
 from repro.serve.pool import SessionPool
-from repro.serve.request import QueryRequest, SessionKey
+from repro.serve.request import QueryRequest, SessionKey, arrival_order
 from repro.utils.errors import ConfigError
+
+
+def eligible_requests(queued: list) -> list:
+    """The subset of queued requests the per-key update fences allow.
+
+    Per session key, requests are admitted in arrival order up to (and
+    including) the first queued update; an update itself is admitted only
+    as its key's earliest queued request.  Each key's earliest request is
+    always admitted, so the result is never empty for a non-empty queue.
+    """
+    by_key: dict[SessionKey, list] = {}
+    for req in queued:
+        by_key.setdefault(req.session_key, []).append(req)
+    out = []
+    for reqs in by_key.values():
+        reqs.sort(key=arrival_order)
+        for i, req in enumerate(reqs):
+            if req.is_update:
+                if i == 0:
+                    out.append(req)
+                break
+            out.append(req)
+    return out
 
 
 class Scheduler:
@@ -51,7 +82,7 @@ class FIFOScheduler(Scheduler):
              pool: SessionPool) -> QueryRequest:
         if not queued:
             raise ConfigError("pick() called with an empty queue")
-        return min(queued)
+        return min(queued, key=arrival_order)
 
 
 class CacheAffinityScheduler(Scheduler):
@@ -94,12 +125,13 @@ class CacheAffinityScheduler(Scheduler):
 
             def score(k: SessionKey):
                 reqs = candidates[k]
-                return (0 if k in pool else 1, -len(reqs), min(reqs))
+                return (0 if k in pool else 1, -len(reqs),
+                        min(arrival_order(r) for r in reqs))
 
             key = min(candidates, key=score)
 
         self._streak = self._streak + 1 if key == last_key else 1
-        return min(by_key[key])
+        return min(by_key[key], key=arrival_order)
 
 
 #: Schedulers selectable by name (CLI, analysis, tests).

@@ -33,9 +33,10 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.dynamic.delta import random_update_arrays
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import erdos_renyi, powerlaw_configuration, rmat
-from repro.serve.request import QueryRequest, freeze_overrides
+from repro.serve.request import QueryRequest, UpdateRequest, freeze_overrides
 from repro.session import get_kernel
 from repro.utils.errors import ConfigError
 from repro.utils.rng import derive_seed, make_rng
@@ -104,6 +105,9 @@ class WorkloadSpec:
     variants: tuple = DEFAULT_VARIANTS
     tenant_skew: float = 1.1            # Zipf exponent over tenants
     graph_skew: float = 0.9             # Zipf exponent over catalog graphs
+    update_mix: float = 0.0             # fraction of requests that are updates
+    update_edges: int = 8               # edges per update batch
+    update_delete_fraction: float = 0.25  # of each batch, deletes vs inserts
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -118,18 +122,49 @@ class WorkloadSpec:
             raise ConfigError("workload needs at least one graph")
         if not self.kernels:
             raise ConfigError("workload needs at least one kernel")
+        if not 0.0 <= self.update_mix <= 0.9:
+            # Aggregate metrics (throughput, latency percentiles) need
+            # queries to measure; a pure-write workload has none.
+            raise ConfigError(
+                f"update_mix must be in [0, 0.9], got {self.update_mix}")
+        if self.update_edges < 1:
+            raise ConfigError(
+                f"update_edges must be >= 1, got {self.update_edges}")
+        if not 0.0 <= self.update_delete_fraction <= 1.0:
+            raise ConfigError(
+                "update_delete_fraction must be in [0, 1], got "
+                f"{self.update_delete_fraction}")
 
     def uniform(self) -> "WorkloadSpec":
         """The same workload with popularity skew removed (the contrast)."""
         return replace(self, tenant_skew=0.0, graph_skew=0.0)
 
 
-def generate_workload(spec: WorkloadSpec) -> list[QueryRequest]:
-    """Deterministically expand a spec into its arrival-ordered requests."""
+def generate_workload(spec: WorkloadSpec,
+                      catalog: dict[str, CSRGraph] | None = None
+                      ) -> list[QueryRequest]:
+    """Deterministically expand a spec into its arrival-ordered requests.
+
+    With ``update_mix > 0`` the trace interleaves
+    :class:`~repro.serve.request.UpdateRequest`s whose edge batches are
+    materialized here, against the catalog's base graphs — batch content
+    is then a pure function of the spec, independent of service order.
+    Update randomness lives on a separate derived stream, so a spec with
+    ``update_mix=0`` produces exactly the trace it always did.
+    """
     for kernel in spec.kernels:
         if not get_kernel(kernel).resident:
             raise ConfigError(
                 f"serving kernels must be resident, got {kernel!r}")
+    if spec.update_mix > 0:
+        if catalog is None:
+            raise ConfigError(
+                "update_mix > 0 needs the graph catalog to synthesize "
+                "update batches (pass generate_workload(spec, catalog))")
+        missing = [g for g in spec.graphs if g not in catalog]
+        if missing:
+            raise ConfigError(
+                f"workload graphs missing from catalog: {missing}")
     rng = make_rng(derive_seed(spec.seed, "serve-workload"))
     n = spec.n_queries
 
@@ -145,12 +180,28 @@ def generate_workload(spec: WorkloadSpec) -> list[QueryRequest]:
     tenants = _choice(rng, zipf_weights(spec.n_tenants, spec.tenant_skew), n)
     kernel_ids = _choice(rng, zipf_weights(len(spec.kernels), 0.0), n)
 
-    requests = []
+    is_update = np.zeros(n, dtype=bool)
+    upd_rng = None
+    if spec.update_mix > 0:
+        upd_rng = make_rng(derive_seed(spec.seed, "serve-updates"))
+        is_update = upd_rng.random(n) < spec.update_mix
+        is_update[0] = False  # keep at least one query in every trace
+
+    requests: list = []
     for qid in range(n):
         tenant = int(tenants[qid])
         graph, overrides = homes[tenant]
-        requests.append(QueryRequest(
-            arrival=float(arrivals[qid]), qid=qid, tenant=tenant,
-            graph=graph, kernel=spec.kernels[int(kernel_ids[qid])],
-            overrides=overrides))
+        if is_update[qid]:
+            inserts, deletes = random_update_arrays(
+                catalog[graph], spec.update_edges,
+                spec.update_delete_fraction, seed=upd_rng)
+            requests.append(UpdateRequest(
+                arrival=float(arrivals[qid]), qid=qid, tenant=tenant,
+                graph=graph, overrides=overrides,
+                inserts=inserts, deletes=deletes))
+        else:
+            requests.append(QueryRequest(
+                arrival=float(arrivals[qid]), qid=qid, tenant=tenant,
+                graph=graph, kernel=spec.kernels[int(kernel_ids[qid])],
+                overrides=overrides))
     return requests

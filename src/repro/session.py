@@ -53,6 +53,8 @@ from repro.baselines.tric import TricConfig, run_tric
 from repro.clampi.stats import CacheStats
 from repro.core.config import CacheSpec, DistributedRunResult, LCCConfig
 from repro.core.lcc import attach_caches, execute_lcc, make_partition
+from repro.dynamic.delta import DeltaResult, UpdateBatch, apply_delta
+from repro.dynamic.invalidate import resync_distributed
 from repro.core.lcc_fast import run_distributed_lcc_fast
 from repro.core.tc import execute_tc, require_undirected
 from repro.core.tc2d import run_distributed_tc_2d
@@ -66,6 +68,7 @@ __all__ = [
     "KernelResult",
     "KernelSpec",
     "Session",
+    "UpdateOutcome",
     "get_kernel",
     "kernel_names",
     "register_kernel",
@@ -175,6 +178,40 @@ class KernelResult:
         return s
 
 
+@dataclass
+class UpdateOutcome:
+    """What one :meth:`Session.apply_updates` call did.
+
+    ``delta`` carries the graph-level outcome (new graph, affected set,
+    applied/skipped edge counts); the remaining fields describe the
+    resident-cluster resync: which ranks' slices were rebuilt, how many
+    warm CLaMPI entries were invalidated vs retained, and the simulated
+    cost (``time``) of the whole update — slice rebuild plus invalidation
+    priced at the caches' eviction overhead, max over ranks like any job.
+    """
+
+    delta: DeltaResult
+    touched_ranks: tuple[int, ...] = ()
+    rebuilt_bytes: int = 0
+    invalidated_offsets_entries: int = 0
+    invalidated_adj_entries: int = 0
+    invalidated_bytes: int = 0
+    retained_entries: int = 0
+    time: float = 0.0
+
+    @property
+    def graph(self):
+        return self.delta.graph
+
+    @property
+    def affected(self):
+        return self.delta.affected
+
+    @property
+    def invalidated_entries(self) -> int:
+        return self.invalidated_offsets_entries + self.invalidated_adj_entries
+
+
 # ---------------------------------------------------------------------------
 # The session
 # ---------------------------------------------------------------------------
@@ -202,6 +239,7 @@ class Session:
         self.config = config or LCCConfig()
         self.partition_builds = 0
         self.queries_run = 0
+        self.updates_applied = 0
         self._engine: Optional[Engine] = None
         self._dist: Optional[DistributedCSR] = None
         self._cluster_key: Any = None
@@ -276,6 +314,72 @@ class Session:
             kc = opts.pop("keep_cache", keep_cache)
             results[name] = self.run(k, keep_cache=kc, **opts)
         return results
+
+    # -- updates -------------------------------------------------------------
+    def apply_updates(self, batch: UpdateBatch, *,
+                      strict: bool = False) -> UpdateOutcome:
+        """Apply an edge-update batch to the resident graph.
+
+        The session's graph is replaced by the post-update CSR; if a
+        cluster is resident, only the ranks owning a changed vertex have
+        their window slices rebuilt, and the per-rank CLaMPI caches are
+        invalidated **targeted**: exactly the entries whose cached bytes
+        the update made stale are evicted, so a following
+        ``run(..., keep_cache=True)`` stays warm for everything else.
+        Any open epochs are closed first (an update is an epoch boundary,
+        so transparent-mode caches flush as they would on a real window).
+
+        ``strict=True`` raises on inserting an existing edge or deleting
+        an absent one; the default skips them (idempotent semantics, what
+        serving traffic wants).
+        """
+        if self._closed:
+            raise KernelError("session is closed")
+        res = apply_delta(self.graph, batch, strict=strict)
+        self.graph = res.graph
+        self.updates_applied += 1
+        outcome = UpdateOutcome(delta=res)
+        if self._dist is None or not res.changed:
+            if self._dist is not None:
+                # Nothing changed structurally; keep windows and memos.
+                self._dist.graph = res.graph
+            outcome.retained_entries = sum(
+                len(c) for c in self._off_caches + self._adj_caches)
+            return outcome
+
+        dist, engine = self._dist, self._engine
+        dist.close_epochs()
+        plan = resync_distributed(dist, res.graph, res.endpoints)
+        dist.rebind_graph(res.graph)
+        outcome.touched_ranks = plan.touched_ranks
+        outcome.rebuilt_bytes = plan.rebuilt_bytes
+
+        inval_dt = [0.0] * engine.nranks
+        for caches, keys, counter in (
+                (self._off_caches, plan.offsets_keys,
+                 "invalidated_offsets_entries"),
+                (self._adj_caches, plan.adjacency_keys,
+                 "invalidated_adj_entries")):
+            for cache in caches:
+                mgmt_before = cache.stats.mgmt_time
+                dropped, dropped_bytes = cache.invalidate(keys)
+                # The cache prices its own invalidations (mgmt_time);
+                # charge exactly that, whatever its cost model is.
+                inval_dt[cache.rank] += cache.stats.mgmt_time - mgmt_before
+                setattr(outcome, counter, getattr(outcome, counter) + dropped)
+                outcome.invalidated_bytes += dropped_bytes
+        outcome.retained_entries = sum(
+            len(c) for c in self._off_caches + self._adj_caches)
+
+        # Price the rebuild with the model the resident cluster was
+        # actually built under (a per-run override config may differ
+        # from the session default).
+        memory = engine.contexts[0].memory
+        rebuilt = plan.rebuilt_bytes_by_rank
+        outcome.time = max(
+            ((memory.local_read_time(rebuilt[r]) if r in rebuilt else 0.0)
+             + inval_dt[r]) for r in range(engine.nranks))
+        return outcome
 
     # -- resident cluster ----------------------------------------------------
     def resident_cluster(self, config: LCCConfig | None = None,

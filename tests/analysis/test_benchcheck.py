@@ -99,3 +99,56 @@ class TestCommittedBaseline:
         out = tmp_path / "copy.json"
         write_report(report, str(out))
         assert load_report(str(out)) == report
+
+
+class TestTrajectory:
+    def test_row_summarizes_report(self):
+        from repro.analysis.benchreport import trajectory_row
+
+        report = report_with({"lcc:g": replay_row(warm=4.0),
+                              "tc:g": replay_row(warm=6.0)})
+        report["kernels"] = {"lcc:g": {"wall_clock_s": 0.5,
+                                       "adj_hit_rate": 0.8},
+                             "tc:g": {"wall_clock_s": 1.5,
+                                      "adj_hit_rate": None}}
+        row = trajectory_row(report, date="2026-07-26")
+        assert row["date"] == "2026-07-26"
+        assert row["n_kernels"] == 2
+        assert row["total_kernel_wall_s"] == 2.0
+        assert row["max_kernel_wall_s"] == 1.5
+        assert row["mean_adj_hit_rate"] == 0.8
+        assert row["min_warm_speedups"] == {"lcc": 4.0, "tc": 6.0}
+
+    def test_append_creates_then_extends(self, tmp_path):
+        from repro.analysis.benchreport import append_trajectory
+
+        report = report_with({"lcc:g": replay_row(warm=4.0)})
+        path = tmp_path / "BENCH_trajectory.json"
+        append_trajectory(report, str(path), date="2026-07-25")
+        append_trajectory(report, str(path), date="2026-07-26")
+        import json
+
+        data = json.loads(path.read_text())
+        assert [r["date"] for r in data["rows"]] == ["2026-07-25",
+                                                     "2026-07-26"]
+        assert data["schema_version"] == 1
+
+    def test_committed_trajectory_is_valid(self):
+        """The repo-root trajectory file parses and has at least one row."""
+        import json
+
+        with open("BENCH_trajectory.json") as fh:
+            data = json.load(fh)
+        assert isinstance(data["rows"], list) and data["rows"]
+        for row in data["rows"]:
+            assert row["date"] and "min_warm_speedups" in row
+
+    def test_corrupt_trajectory_reported_cleanly(self, tmp_path):
+        from repro.analysis.benchreport import append_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text('{"rows": [')  # truncated by a killed run
+        with pytest.raises(ValueError, match="corrupt"):
+            append_trajectory(report_with({}), str(path))
+        # The corrupt file is left untouched for manual inspection.
+        assert path.read_text() == '{"rows": ['

@@ -1,0 +1,120 @@
+"""The dynamic-graph bench report and its regression gates."""
+
+import copy
+
+import pytest
+
+from repro.analysis.dynamic import (
+    DYNAMIC_REPORT_KEYS,
+    check_dynamic_against_baseline,
+    check_dynamic_report,
+    run_dynamic_bench,
+    write_dynamic_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_dynamic_bench(quick=True)
+
+
+class TestQuickRun:
+    def test_schema_and_gates(self, quick_report):
+        for key in DYNAMIC_REPORT_KEYS:
+            assert key in quick_report
+        assert check_dynamic_report(quick_report) == []
+
+    def test_incremental_rows(self, quick_report):
+        assert quick_report["incremental"]
+        for row in quick_report["incremental"].values():
+            assert row["bit_identical"] is True
+            assert row["speedup"] > 0
+            assert 0 < row["n_affected"] < row["n_vertices"]
+
+    def test_invalidation_rows(self, quick_report):
+        for row in quick_report["invalidation"].values():
+            assert row["post_update_bit_identical"] is True
+            assert row["retained_warm_hits"] > 0
+            assert row["invalidated_entries"] > 0
+            assert row["retained_entries"] > 0
+            # Retention ordering: warm > post-update > cold hit rates.
+            assert (row["warm_hit_rate"] > row["post_update_hit_rate"]
+                    > row["cold_hit_rate"])
+
+    def test_serving_row(self, quick_report):
+        srv = quick_report["serving"]
+        assert srv["results_identical"] is True
+        assert srv["n_updates"] > 0
+        assert set(srv["schedulers"]) == {"fifo", "affinity"}
+
+    def test_write_round_trip(self, quick_report, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_dynamic.json"
+        write_dynamic_report(quick_report, str(path))
+        assert json.loads(path.read_text())["quick"] is True
+
+    def test_passes_against_committed_baseline(self, quick_report):
+        from repro.analysis.benchreport import load_report
+
+        baseline = load_report("BENCH_dynamic.json")
+        assert check_dynamic_against_baseline(quick_report, baseline) == []
+
+
+class TestGateClauses:
+    def doctor(self, report, section, graph, **changes):
+        doctored = copy.deepcopy(report)
+        doctored[section][graph].update(changes)
+        return doctored
+
+    def test_bit_identity_is_non_negotiable(self, quick_report):
+        gname = next(iter(quick_report["incremental"]))
+        bad = self.doctor(quick_report, "incremental", gname,
+                          bit_identical=False)
+        assert any("bit-identical" in p for p in check_dynamic_report(bad))
+        # Even the tolerance-based CI gate never waives it.
+        assert any("bit-identical" in p
+                   for p in check_dynamic_against_baseline(bad, quick_report))
+
+    def test_speedup_floor_full_reports(self, quick_report):
+        gname = next(iter(quick_report["incremental"]))
+        slow = self.doctor(quick_report, "incremental", gname, speedup=1.5)
+        slow["quick"] = False
+        assert any("below" in p for p in check_dynamic_report(slow))
+        # The same 1.5x is fine for a quick run...
+        slow["quick"] = True
+        assert check_dynamic_report(slow) == []
+
+    def test_retained_hits_required(self, quick_report):
+        gname = next(iter(quick_report["invalidation"]))
+        flushed = self.doctor(quick_report, "invalidation", gname,
+                              retained_warm_hits=0)
+        assert any("retained" in p or "flushed" in p
+                   for p in check_dynamic_report(flushed))
+
+    def test_serving_identity_required(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["serving"]["results_identical"] = False
+        assert any("barrier" in p for p in check_dynamic_report(bad))
+
+    def test_baseline_relative_speedup(self, quick_report):
+        base = copy.deepcopy(quick_report)
+        for row in base["incremental"].values():
+            row["speedup"] = 1000.0  # worst-case baseline speedup: 1000x
+        problems = check_dynamic_against_baseline(quick_report, base)
+        assert any("fell below" in p for p in problems)
+
+    def test_missing_baseline_section_flagged(self, quick_report):
+        problems = check_dynamic_against_baseline(quick_report, {})
+        assert any("baseline" in p for p in problems)
+
+    def test_bad_tolerance_rejected(self, quick_report):
+        with pytest.raises(ValueError):
+            check_dynamic_against_baseline(quick_report, quick_report,
+                                           tolerance=0)
+
+    def test_write_refuses_failing_report(self, quick_report, tmp_path):
+        bad = copy.deepcopy(quick_report)
+        bad["serving"]["results_identical"] = False
+        with pytest.raises(ValueError):
+            write_dynamic_report(bad, str(tmp_path / "x.json"))

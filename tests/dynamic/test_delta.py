@@ -1,0 +1,192 @@
+"""Tests for update batches and the vectorized CSR delta merge."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.delta import (
+    DeltaBuffer,
+    UpdateBatch,
+    apply_delta,
+    random_update_arrays,
+    random_update_batch,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import powerlaw_configuration
+from repro.utils.errors import GraphFormatError
+
+
+def triangle_graph(n=4):
+    return CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)], n=n)
+
+
+class TestUpdateBatch:
+    def test_symmetrize_and_dedup(self):
+        b = UpdateBatch.build([(0, 1), (1, 0), (0, 1)], n=4)
+        assert b.num_insert_edges == 1
+        assert b.insert_keys.shape[0] == 2  # both stored directions
+
+    def test_self_loops_dropped(self):
+        b = UpdateBatch.build([(2, 2)], n=4)
+        assert b.num_insert_edges == 0
+
+    def test_directed_keeps_one_direction(self):
+        b = UpdateBatch.build([(0, 1)], n=4, directed=True)
+        assert b.insert_keys.shape[0] == 1
+        np.testing.assert_array_equal(b.insert_edges(), [[0, 1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            UpdateBatch.build([(0, 9)], n=4)
+        with pytest.raises(GraphFormatError):
+            UpdateBatch.build([(-1, 2)], n=4)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            UpdateBatch.build(np.zeros((2, 3), dtype=np.int64), n=4)
+
+    def test_float_edges_rejected(self):
+        with pytest.raises(GraphFormatError):
+            UpdateBatch.build(np.zeros((2, 2)), n=4)
+
+    def test_insert_delete_overlap_rejected(self):
+        with pytest.raises(GraphFormatError, match="ambiguous"):
+            UpdateBatch.build([(0, 1)], [(1, 0)], n=4)
+
+    def test_int32_overflow_rejected(self):
+        with pytest.raises(GraphFormatError, match="int32"):
+            UpdateBatch.build([(0, 1)], n=2**31 + 1)
+
+    def test_endpoints(self):
+        b = UpdateBatch.build([(0, 3)], [(1, 2)], n=5)
+        np.testing.assert_array_equal(b.endpoints(), [0, 1, 2, 3])
+
+    def test_len(self):
+        b = UpdateBatch.build([(0, 1), (2, 3)], [(1, 2)], n=5)
+        assert len(b) == 3
+
+
+class TestDeltaBuffer:
+    def test_accumulate_then_freeze(self):
+        buf = DeltaBuffer(n=5)
+        buf.insert(0, 3)
+        buf.delete_edges([(1, 2)])
+        batch = buf.freeze()
+        assert batch.num_insert_edges == 1
+        assert batch.num_delete_edges == 1
+
+    def test_last_writer_wins(self):
+        buf = DeltaBuffer(n=5)
+        buf.insert(0, 3)
+        buf.delete(3, 0)  # same undirected edge: delete supersedes
+        batch = buf.freeze()
+        assert batch.num_insert_edges == 0
+        assert batch.num_delete_edges == 1
+
+    def test_clear_and_len(self):
+        buf = DeltaBuffer(n=5)
+        buf.insert(0, 1)
+        assert len(buf) == 1
+        buf.clear()
+        assert len(buf) == 0
+        assert len(buf.freeze()) == 0
+
+    def test_eager_validation(self):
+        buf = DeltaBuffer(n=3)
+        with pytest.raises(GraphFormatError):
+            buf.insert(0, 7)
+
+
+class TestApplyDelta:
+    def test_insert_creates_triangle(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], n=3)
+        res = apply_delta(g, UpdateBatch.build([(0, 2)], n=3))
+        assert res.graph.has_edge(0, 2) and res.graph.has_edge(2, 0)
+        assert res.n_inserted == 1
+        np.testing.assert_array_equal(res.endpoints, [0, 2])
+        # vertex 1 is the common neighbor: its count changes too
+        np.testing.assert_array_equal(res.affected, [0, 1, 2])
+
+    def test_delete_removes_both_directions(self):
+        g = triangle_graph()
+        res = apply_delta(g, UpdateBatch.build(deletes=[(1, 2)], n=4))
+        assert not res.graph.has_edge(1, 2) and not res.graph.has_edge(2, 1)
+        assert res.n_deleted == 1
+        res.graph.check_invariants()
+
+    def test_strict_rejects_existing_insert(self):
+        with pytest.raises(GraphFormatError, match="existing"):
+            apply_delta(triangle_graph(), UpdateBatch.build([(0, 1)], n=4))
+
+    def test_strict_rejects_absent_delete(self):
+        with pytest.raises(GraphFormatError, match="absent"):
+            apply_delta(triangle_graph(),
+                        UpdateBatch.build(deletes=[(0, 3)], n=4))
+
+    def test_non_strict_skips_and_counts(self):
+        g = triangle_graph()
+        res = apply_delta(g, UpdateBatch.build([(0, 1)], [(0, 3)], n=4),
+                          strict=False)
+        assert res.n_inserted == 0 and res.n_skipped_inserts == 1
+        assert res.n_deleted == 0 and res.n_skipped_deletes == 1
+        assert not res.changed
+        np.testing.assert_array_equal(res.graph.adjacency, g.adjacency)
+
+    def test_mismatched_n_rejected(self):
+        with pytest.raises(GraphFormatError):
+            apply_delta(triangle_graph(4), UpdateBatch.build([(0, 1)], n=5))
+
+    def test_mismatched_directedness_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], n=3, directed=True)
+        with pytest.raises(GraphFormatError):
+            apply_delta(g, UpdateBatch.build([(1, 2)], n=3))
+
+    def test_empty_batch_is_noop(self):
+        g = triangle_graph()
+        res = apply_delta(g, UpdateBatch.build(n=4))
+        assert not res.changed
+        assert res.affected.size == 0
+        np.testing.assert_array_equal(res.graph.offsets, g.offsets)
+
+    def test_matches_rebuild(self):
+        g = powerlaw_configuration(200, 1200, seed=1)
+        batch = random_update_batch(g, 30, 0.4, seed=2)
+        res = apply_delta(g, batch, strict=False)
+        old = set(map(tuple, g.edges()))
+        ins = {(int(u), int(v)) for u, v in batch.insert_edges()}
+        ins |= {(v, u) for u, v in ins}
+        dels = {(int(u), int(v)) for u, v in batch.delete_edges()}
+        dels |= {(v, u) for u, v in dels}
+        e = np.array(sorted((old | ins) - dels))
+        expect = CSRGraph.from_edges(e[e[:, 0] < e[:, 1]], g.n)
+        np.testing.assert_array_equal(res.graph.offsets, expect.offsets)
+        np.testing.assert_array_equal(res.graph.adjacency, expect.adjacency)
+
+    def test_directed_delta(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], n=3, directed=True)
+        batch = UpdateBatch.build([(0, 2)], [(1, 2)], n=3, directed=True)
+        res = apply_delta(g, batch)
+        assert res.graph.has_edge(0, 2)
+        assert not res.graph.has_edge(1, 2)
+        assert res.n_inserted == 1 and res.n_deleted == 1
+
+
+class TestRandomBatches:
+    def test_deterministic(self):
+        g = powerlaw_configuration(100, 500, seed=3)
+        a1, d1 = random_update_arrays(g, 12, 0.25, seed=9)
+        a2, d2 = random_update_arrays(g, 12, 0.25, seed=9)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_no_ambiguous_overlap(self):
+        g = powerlaw_configuration(60, 300, seed=4)
+        for seed in range(10):
+            random_update_batch(g, 20, 0.5, seed=seed)  # must not raise
+
+    def test_delete_fraction_bounds(self):
+        g = triangle_graph()
+        with pytest.raises(GraphFormatError):
+            random_update_arrays(g, 4, 1.5)
+        ins, dels = random_update_arrays(g, 4, 1.0, seed=0)
+        assert ins.shape[0] == 0
+        assert dels.shape[0] <= 3

@@ -181,3 +181,35 @@ class TestRelabel:
         a = relabel_random(g, seed=9)
         b = relabel_random(g, seed=9)
         np.testing.assert_array_equal(a.adjacency, b.adjacency)
+
+
+class TestVertexDtypeOverflow:
+    """Ids >= 2**31 must raise instead of silently wrapping in int32."""
+
+    def test_id_beyond_int32_rejected(self):
+        with pytest.raises(GraphFormatError, match="int32"):
+            CSRGraph.from_edges([(0, 2**31)])
+
+    def test_wrap_to_positive_id_rejected(self):
+        # 2**32 + 5 wraps to +5 in int32 — the corruption the guard exists
+        # for, since no downstream invariant would catch it.
+        with pytest.raises(GraphFormatError, match="int32"):
+            CSRGraph.from_edges([(0, 2**32 + 5)], n=2**32 + 6)
+
+    def test_huge_n_rejected_even_with_no_edges(self):
+        with pytest.raises(GraphFormatError, match="int32"):
+            CSRGraph.from_edges([], n=2**31 + 1)
+
+    def test_boundary_max_id_accepted_beyond_rejected(self):
+        # n == 2**31 (max id 2**31 - 1) is the largest legal vertex
+        # count; exercise the guard directly — building a real graph of
+        # that size would allocate a 17 GB offsets array.
+        from repro.graph.csr import _check_vertex_range
+
+        _check_vertex_range(2**31)  # must not raise
+        with pytest.raises(GraphFormatError, match="int32"):
+            _check_vertex_range(2**31 + 1)
+
+    def test_float_edges_rejected(self):
+        with pytest.raises(GraphFormatError, match="integer"):
+            CSRGraph.from_edges(np.array([[0.5, 1.5]]))

@@ -76,3 +76,11 @@ def test_dynamic_graph(capsys):
     out = capsys.readouterr().out
     assert "mode = transparent" in out
     assert "all epochs correct: True" in out
+
+
+def test_dynamic_updates(capsys):
+    run_example("dynamic_updates.py")
+    out = capsys.readouterr().out
+    assert "incremental fold exact: True" in out
+    assert "retained" in out
+    assert "incremental state recomputed" in out

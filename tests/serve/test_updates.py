@@ -1,0 +1,186 @@
+"""Mixed read/write serving: update requests, barriers, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ServeConfig,
+    ServingEngine,
+    UpdateRequest,
+    WorkloadSpec,
+    default_catalog,
+    eligible_requests,
+    generate_workload,
+    make_scheduler,
+)
+from repro.serve.engine import answers_identical
+from repro.serve.request import QueryRequest
+from repro.utils.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(scale=0.25)
+
+
+def mixed_spec(catalog, **kw):
+    defaults = dict(n_queries=40, arrival_rate=2000.0, n_tenants=6,
+                    graphs=tuple(catalog), seed=5, update_mix=0.3,
+                    update_edges=6)
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestWorkloadGeneration:
+    def test_mix_produces_updates_and_queries(self, catalog):
+        reqs = generate_workload(mixed_spec(catalog), catalog)
+        updates = [r for r in reqs if r.is_update]
+        queries = [r for r in reqs if not r.is_update]
+        assert updates and queries
+        assert len(reqs) == 40
+        assert not reqs[0].is_update  # first request always a query
+
+    def test_deterministic(self, catalog):
+        spec = mixed_spec(catalog)
+        a = generate_workload(spec, catalog)
+        b = generate_workload(spec, catalog)
+        for ra, rb in zip(a, b):
+            assert type(ra) is type(rb)
+            assert ra.qid == rb.qid and ra.arrival == rb.arrival
+            if ra.is_update:
+                np.testing.assert_array_equal(ra.inserts, rb.inserts)
+                np.testing.assert_array_equal(ra.deletes, rb.deletes)
+
+    def test_zero_mix_trace_unchanged(self, catalog):
+        """update_mix=0 reproduces the PR-3 trace bit-for-bit."""
+        spec = mixed_spec(catalog, update_mix=0.0)
+        with_catalog = generate_workload(spec, catalog)
+        without = generate_workload(spec)
+        assert with_catalog == without
+        assert all(not r.is_update for r in without)
+
+    def test_mix_requires_catalog(self, catalog):
+        with pytest.raises(ConfigError, match="catalog"):
+            generate_workload(mixed_spec(catalog))
+
+    def test_mix_validation(self, catalog):
+        with pytest.raises(ConfigError):
+            mixed_spec(catalog, update_mix=0.95)
+        with pytest.raises(ConfigError):
+            mixed_spec(catalog, update_edges=0)
+        with pytest.raises(ConfigError):
+            mixed_spec(catalog, update_delete_fraction=-0.1)
+
+
+class TestBarriers:
+    def make(self, cls, arrival, qid, graph="g", **kw):
+        if cls is UpdateRequest:
+            return UpdateRequest(arrival=arrival, qid=qid, tenant=0,
+                                 graph=graph, **kw)
+        return QueryRequest(arrival=arrival, qid=qid, tenant=0, graph=graph,
+                            **kw)
+
+    def test_update_blocks_later_queries_on_its_key(self):
+        q0 = self.make(QueryRequest, 0.0, 0)
+        upd = self.make(UpdateRequest, 1.0, 1)
+        q2 = self.make(QueryRequest, 2.0, 2)
+        eligible = eligible_requests([q2, upd, q0])
+        assert q0 in eligible
+        assert upd not in eligible  # q0 must drain first
+        assert q2 not in eligible   # fenced behind the update
+
+    def test_update_at_head_is_eligible(self):
+        upd = self.make(UpdateRequest, 0.0, 0)
+        q1 = self.make(QueryRequest, 1.0, 1)
+        eligible = eligible_requests([q1, upd])
+        assert eligible == [upd]
+
+    def test_other_keys_unaffected(self):
+        upd = self.make(UpdateRequest, 0.0, 0, graph="a")
+        other = self.make(QueryRequest, 1.0, 1, graph="b")
+        eligible = eligible_requests([upd, other])
+        assert upd in eligible and other in eligible
+
+    def test_second_update_fenced_behind_first(self):
+        u0 = self.make(UpdateRequest, 0.0, 0)
+        u1 = self.make(UpdateRequest, 1.0, 1)
+        assert eligible_requests([u1, u0]) == [u0]
+
+    def test_nonempty_for_nonempty_queue(self):
+        reqs = [self.make(UpdateRequest, float(i), i) for i in range(5)]
+        assert eligible_requests(reqs)
+
+
+class TestMixedServing:
+    @pytest.fixture(scope="class")
+    def outcomes(self, catalog):
+        reqs = generate_workload(mixed_spec(catalog), catalog)
+        config = ServeConfig(nranks=4, threads=2, pool_capacity=2)
+        outs = {}
+        for name in ("fifo", "affinity"):
+            engine = ServingEngine(catalog, config, make_scheduler(name))
+            outs[name] = engine.serve(reqs)
+        return outs
+
+    def test_schedulers_agree_bit_for_bit(self, outcomes):
+        """The headline invariant: mutations + any scheduler, same answers
+        and same per-key graph histories (update digests included)."""
+        assert answers_identical(outcomes["fifo"], outcomes["affinity"])
+
+    def test_update_accounting_separate(self, outcomes):
+        for outcome in outcomes.values():
+            aggs = outcome.aggregates
+            assert aggs["n_updates"] == len(outcome.update_records) > 0
+            assert aggs["update_latency_mean_s"] > 0
+            assert aggs["update_service_total_s"] >= 0
+            assert aggs["n_queries"] == len(outcome.records)
+            # Query latency aggregates exclude updates entirely.
+            lat = [r.latency for r in outcome.records]
+            assert aggs["latency_mean_s"] == pytest.approx(np.mean(lat))
+
+    def test_updates_invalidate_and_retain(self, outcomes):
+        aff = outcomes["affinity"].aggregates
+        assert aff["invalidated_entries"] > 0
+        assert aff["retained_entries_mean"] > 0
+
+    def test_eviction_cannot_roll_back_updates(self, catalog):
+        """With a 1-slot pool every update's session is evicted before the
+        next touch; pinned graphs must still give identical histories."""
+        reqs = generate_workload(mixed_spec(catalog, n_queries=30), catalog)
+        config = ServeConfig(nranks=4, threads=2, pool_capacity=1)
+        outs = [ServingEngine(catalog, config, make_scheduler(n)).serve(reqs)
+                for n in ("fifo", "affinity")]
+        assert answers_identical(outs[0], outs[1])
+        assert outs[0].pool_stats["evictions"] > 0
+
+    def test_update_record_fields(self, outcomes):
+        rec = outcomes["fifo"].update_records[0]
+        assert rec.finish >= rec.start >= rec.arrival
+        assert rec.n_inserted + rec.n_deleted >= 0
+        assert rec.digest
+        assert rec.latency >= 0
+
+
+class TestPureWriteTrace:
+    def test_updates_only_workload_is_served(self, catalog):
+        """An all-update trace must not crash after doing the work."""
+        import numpy as np
+
+        from repro.serve.request import UpdateRequest
+
+        name = next(iter(catalog))
+        g = catalog[name]
+        reqs = [UpdateRequest(arrival=float(i), qid=i, tenant=0, graph=name,
+                              inserts=np.array([[i, (i + 1) % g.n]]),
+                              deletes=None)
+                for i in range(3)]
+        engine = ServingEngine(catalog,
+                               ServeConfig(nranks=4, threads=2,
+                                           pool_capacity=1),
+                               make_scheduler("fifo"))
+        outcome = engine.serve(reqs)
+        assert outcome.records == []
+        assert len(outcome.update_records) == 3
+        aggs = outcome.aggregates
+        assert aggs["n_queries"] == 0 and aggs["n_updates"] == 3
+        assert aggs["makespan_s"] >= reqs[-1].arrival

@@ -251,3 +251,126 @@ class TestBench:
                 "adj_hit_rate": 0.9, "offsets_hit_rate": 0.9}},
         }
         monkeypatch.setattr(br, "run_bench", lambda quick=False: canned)
+
+
+class TestBenchTrajectory:
+    def test_row_appended_next_to_report(self, tmp_path, capsys, monkeypatch):
+        TestBench._patch_canned_bench(monkeypatch, warm=8.0)
+        out_file = tmp_path / "BENCH_kernels.json"
+        traj = tmp_path / "BENCH_trajectory.json"
+        assert main(["bench", "--quick", "--json", str(out_file)]) == 0
+        data = json.loads(traj.read_text())
+        assert len(data["rows"]) == 1
+        row = data["rows"][0]
+        assert row["quick"] is True
+        assert row["min_warm_speedups"]["lcc"] == 8.0
+        assert row["date"]
+        # A second run appends, never overwrites.
+        assert main(["bench", "--quick", "--json", str(out_file)]) == 0
+        assert len(json.loads(traj.read_text())["rows"]) == 2
+
+    def test_explicit_path_and_opt_out(self, tmp_path, monkeypatch):
+        TestBench._patch_canned_bench(monkeypatch, warm=8.0)
+        traj = tmp_path / "history.json"
+        assert main(["bench", "--quick", "--json",
+                     str(tmp_path / "r.json"), "--trajectory",
+                     str(traj)]) == 0
+        assert len(json.loads(traj.read_text())["rows"]) == 1
+        assert main(["bench", "--quick", "--json",
+                     str(tmp_path / "r.json"), "--no-trajectory"]) == 0
+        assert len(json.loads(traj.read_text())["rows"]) == 1
+
+    def test_non_trajectory_file_rejected(self, tmp_path, monkeypatch):
+        TestBench._patch_canned_bench(monkeypatch, warm=8.0)
+        traj = tmp_path / "not_a_trajectory.json"
+        traj.write_text(json.dumps({"rows": "oops"}))
+        with pytest.raises(ValueError, match="trajectory"):
+            main(["bench", "--quick", "--json", str(tmp_path / "r.json"),
+                  "--trajectory", str(traj)])
+
+
+class TestUpdate:
+    def test_one_off_update_json(self, capsys):
+        assert main(["update", "skitter", "--scale", "0.2", "--nranks", "4",
+                     "--edges", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["edges_inserted"] + payload["edges_deleted"] > 0
+        assert payload["incremental_matches_query"] is True
+        assert payload["invalidated_entries"] > 0
+        assert payload["retained_entries"] > 0
+
+    def test_update_bench_writes_gated_report(self, tmp_path, capsys):
+        from repro.analysis.dynamic import (
+            DYNAMIC_REPORT_KEYS,
+            check_dynamic_report,
+        )
+
+        out_file = tmp_path / "BENCH_dynamic.json"
+        assert main(["update", "--quick", "--bench", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        for key in DYNAMIC_REPORT_KEYS:
+            assert key in report
+        assert check_dynamic_report(report) == []
+        out = capsys.readouterr().out
+        assert "incremental" in out
+        assert "answers identical: True" in out
+
+    def test_update_bench_check_against_committed_baseline(self, tmp_path,
+                                                           capsys):
+        out_file = tmp_path / "fresh.json"
+        assert main(["update", "--quick", "--bench", str(out_file),
+                     "--check", "BENCH_dynamic.json"]) == 0
+        assert "dynamic check OK" in capsys.readouterr().err
+
+    def test_update_bench_check_fails_on_regression(self, tmp_path, capsys,
+                                                    monkeypatch):
+        import repro.analysis.dynamic as dyn
+
+        canned = {
+            "schema_version": 1, "quick": True, "nranks": 8, "threads": 4,
+            "graphs": {}, "update_edges": 12,
+            "incremental": {"g": {
+                "speedup": 1.5, "bit_identical": True, "n_affected": 1,
+                "n_vertices": 10, "incremental_wall_s": 1.0,
+                "full_wall_s": 1.5, "edges_inserted": 1, "edges_deleted": 0}},
+            "invalidation": {"g": {
+                "warm_hit_rate": 0.9, "post_update_hit_rate": 0.7,
+                "cold_hit_rate": 0.5, "retained_warm_hits": 5,
+                "invalidated_entries": 3, "retained_entries": 4,
+                "touched_ranks": 1, "update_time_s": 0.0,
+                "post_update_bit_identical": True}},
+            "serving": {"results_identical": True, "n_requests": 4,
+                        "n_updates": 1, "update_mix": 0.25,
+                        "throughput_ratio": 1.1, "schedulers": {}},
+        }
+        monkeypatch.setattr(dyn, "run_dynamic_bench",
+                            lambda quick=False: canned)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"incremental": {"g": {"speedup": 8.0}}}))
+        assert main(["update", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"),
+                     "--check", str(baseline)]) == 1
+        assert "dynamic check FAILED" in capsys.readouterr().err
+
+
+class TestRound2Guards:
+    def test_failed_bench_check_records_no_trajectory_row(self, tmp_path,
+                                                          monkeypatch):
+        TestBench._patch_canned_bench(monkeypatch, warm=0.5)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"cached_replay": {
+            "lcc:full": {"warm_speedup": 8.0, "bit_identical": True},
+        }}))
+        assert main(["bench", "--quick", "--json", str(tmp_path / "f.json"),
+                     "--check", str(baseline),
+                     "--check-tolerance", "0.5"]) == 1
+        assert not (tmp_path / "BENCH_trajectory.json").exists()
+
+    def test_update_bench_rejects_customization_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--edges"):
+            main(["update", "--bench", str(tmp_path / "x.json"), "--quick",
+                  "--edges", "50"])
+        with pytest.raises(SystemExit, match="dataset"):
+            main(["update", "skitter", "--bench", str(tmp_path / "x.json"),
+                  "--quick"])
