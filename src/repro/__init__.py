@@ -35,18 +35,26 @@ Subpackages: :mod:`repro.runtime` (simulated MPI/RMA), :mod:`repro.clampi`
 (TriC, DistTC, MapReduce), :mod:`repro.analysis` (the experiment harness
 regenerating every table and figure); :mod:`repro.session` (the
 resident-cluster query API); :mod:`repro.dynamic` (batched edge updates,
-incremental recompute and targeted cache invalidation); :mod:`repro.serve`
-(multi-tenant query serving with cache-affinity scheduling over a bounded
-session pool, mixing reads with graph updates).
+incremental recompute and targeted cache invalidation);
+:mod:`repro.graphstore` (the versioned graph store and the resident 1D /
+2D clusters it feeds); :mod:`repro.serve` (multi-tenant query serving
+with cache-affinity scheduling over a bounded session pool, mixing reads
+with versioned graph updates).
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.dynamic import (  # noqa: E402
     DeltaBuffer,
     IncrementalState,
     UpdateBatch,
     apply_delta,
+)
+from repro.graphstore import (  # noqa: E402
+    GraphStore,
+    GraphVersion,
+    GridCluster2D,
+    ResidentCluster,
 )
 from repro.session import (  # noqa: E402
     KernelResult,
@@ -62,9 +70,13 @@ from repro.session import (  # noqa: E402
 
 __all__ = [
     "DeltaBuffer",
+    "GraphStore",
+    "GraphVersion",
+    "GridCluster2D",
     "IncrementalState",
     "KernelResult",
     "KernelSpec",
+    "ResidentCluster",
     "Session",
     "UpdateBatch",
     "UpdateOutcome",

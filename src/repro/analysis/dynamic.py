@@ -102,15 +102,27 @@ def bench_invalidation(graph: CSRGraph, *, n_edges: int = BENCH_UPDATE_EDGES,
     same (updated) graph — i.e. hits served by entries that survived the
     invalidation.  ``post_update_bit_identical`` pins correctness: the
     cached post-update answer equals the cold fresh one, bit for bit.
+
+    The update is applied twice on twin sessions — with rekeying of
+    shifted-but-unchanged adjacency entries (the default) and without —
+    so the report shows the warmth the remap retains on top of plain
+    positional invalidation (``retained_by_rekey_hits``, and the two
+    post-update hit rates).
     """
     config = _bench_cache_config(graph)
     batch = random_update_batch(graph, n_edges, BENCH_DELETE_FRACTION,
                                 seed=derive_seed(seed, "dyn-inv", graph.name))
-    with Session(graph, config) as session:
-        session.run("lcc", keep_cache=True)
-        warm = session.run("lcc", keep_cache=True)
-        outcome = session.apply_updates(batch)
-        post = session.run("lcc", keep_cache=True)
+
+    def run(rekey: bool):
+        with Session(graph, config) as session:
+            session.run("lcc", keep_cache=True)
+            warm = session.run("lcc", keep_cache=True)
+            outcome = session.apply_updates(batch, rekey=rekey)
+            post = session.run("lcc", keep_cache=True)
+        return warm, outcome, post
+
+    warm, outcome, post = run(rekey=True)
+    _, outcome_nr, post_nr = run(rekey=False)
     with Session(outcome.graph, config) as fresh:
         cold = fresh.run("lcc", keep_cache=True)
 
@@ -123,9 +135,15 @@ def bench_invalidation(graph: CSRGraph, *, n_edges: int = BENCH_UPDATE_EDGES,
     return {
         "warm_hit_rate": float(warm_stats["hit_rate"]),
         "post_update_hit_rate": float(post_stats["hit_rate"]),
+        "post_update_hit_rate_no_rekey": float(
+            post_nr.adj_cache_stats["hit_rate"]),
         "cold_hit_rate": float(cold_stats["hit_rate"]),
         "retained_warm_hits": int(post_stats["hits"]) - int(cold_stats["hits"]),
+        "retained_by_rekey_hits": int(post_stats["hits"])
+                                  - int(post_nr.adj_cache_stats["hits"]),
         "invalidated_entries": outcome.invalidated_entries,
+        "invalidated_entries_no_rekey": outcome_nr.invalidated_entries,
+        "rekeyed_entries": outcome.rekeyed_entries,
         "retained_entries": outcome.retained_entries,
         "touched_ranks": len(outcome.touched_ranks),
         "update_time_s": outcome.time,
@@ -228,6 +246,18 @@ def check_dynamic_report(report: Mapping[str, Any], *,
             problems.append(
                 f"invalidation:{gname}: update invalidated nothing "
                 "(stale entries would serve wrong data)")
+        if "rekeyed_entries" in row and int(row["rekeyed_entries"]) <= 0:
+            problems.append(
+                f"invalidation:{gname}: update rekeyed nothing (shifted "
+                "adjacency entries should have been remapped)")
+        if ("post_update_hit_rate_no_rekey" in row
+                and float(row["post_update_hit_rate"])
+                < float(row["post_update_hit_rate_no_rekey"])):
+            problems.append(
+                f"invalidation:{gname}: rekeying lowered the post-update "
+                "hit rate "
+                f"({row['post_update_hit_rate']:.3f} < "
+                f"{row['post_update_hit_rate_no_rekey']:.3f})")
     serving = report.get("serving", {})
     if serving.get("results_identical") is not True:
         problems.append(

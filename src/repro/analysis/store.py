@@ -1,0 +1,396 @@
+"""GraphStore benchmark: resident 2D grids, versioned update propagation.
+
+``repro store --bench`` (and :func:`run_store_bench`) records the
+graph-store subsystem's trajectory point, ``BENCH_store.json``:
+
+* **tc2d** — serving ``tc2d`` warm from a resident
+  :class:`~repro.graphstore.grid2d.GridCluster2D` versus the legacy
+  per-call rebuild path (:func:`~repro.core.tc2d.run_distributed_tc_2d`),
+  per bench graph, with the rebuild path kept as the bit-identity oracle
+  (same triangles *and* same per-rank simulated clocks).  The committed
+  gate requires the warm resident query to be at least **2x** faster in
+  wall-clock terms — in practice the replay memo makes it orders of
+  magnitude faster;
+* **versions** — a mixed read/write serving run through FIFO and
+  cache-affinity scheduling over the store: per-query answers (prefixed
+  with the observed :class:`~repro.graphstore.store.GraphVersion`),
+  per-update chained history digests and the final per-graph version
+  histories must all be scheduler-independent, proving that an update
+  advances one version visible to *every* session of its graph no
+  matter who schedules it; the row also records how many consecutive
+  queued updates each scheduler coalesced into single store flushes;
+* **delete_heavy** — the deletion-dominated scenario (>= 75% deletes
+  per batch, sustained across rounds until degrees collapse below the
+  min-degree preprocessing threshold): the incremental fold must stay
+  bit-identical to a full recompute at every round, and a delete-heavy
+  serving workload must stay scheduler-independent.
+
+:func:`check_store_report` is the absolute gate a recorded report must
+pass; CI re-runs ``--quick`` sizes and gates them against the committed
+baseline with :func:`check_store_against_baseline`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.benchreport import (
+    BENCH_THREADS,
+    bench_graphs,
+    write_report,
+)
+from repro.core.config import LCCConfig
+from repro.core.tc2d import run_distributed_tc_2d
+from repro.dynamic import IncrementalState, random_update_batch
+from repro.graph.csr import CSRGraph
+from repro.core.local import triangles_min_vertex, triangles_per_vertex_batched
+from repro.serve.engine import ServeConfig, ServingEngine, answers_identical
+from repro.serve.scheduler import make_scheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.session import Session
+from repro.utils.rng import derive_seed
+
+STORE_SCHEMA_VERSION = 1
+
+#: Keys every store report carries (pinned by tests and the CLI).
+STORE_REPORT_KEYS = ("schema_version", "quick", "nranks", "threads",
+                     "graphs", "tc2d", "versions", "delete_heavy")
+
+#: The 2D bench runs a square grid (3 x 3) so the SUMMA-style kernel —
+#: not the rectangular fallback — is what gets measured.
+STORE_NRANKS = 9
+
+#: Warm resident queries must beat the per-call rebuild by this factor.
+MIN_WARM_SPEEDUP = 2.0
+
+STORE_SEED = 11
+
+#: Deletion-heavy scenario shape: >= 75% of every batch deletes edges.
+DELETE_HEAVY_FRACTION = 0.8
+
+
+def bench_tc2d_resident(graph: CSRGraph, *, repeats: int = 3
+                        ) -> dict[str, Any]:
+    """Warm resident ``tc2d`` vs the per-call rebuild path on one graph.
+
+    Both paths are timed on their steady state: the rebuild path's
+    second-and-later calls (it has no warm state, every call pays the
+    full split + pack + count), the resident path's second-and-later
+    queries (grid built once, warm queries replay).  ``bit_identical``
+    covers triangles *and* per-rank simulated clocks.
+    """
+    config = LCCConfig(nranks=STORE_NRANKS, threads=BENCH_THREADS)
+    rebuild_first = run_distributed_tc_2d(graph, config)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        rebuild = run_distributed_tc_2d(graph, config)
+    rebuild_warm = (time.perf_counter() - t0) / repeats
+
+    with Session(graph, config) as session:
+        cold = session.run("tc2d")
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            warm = session.run("tc2d")
+        resident_warm = (time.perf_counter() - t0) / repeats
+        grid_builds = session.grid_builds
+
+    identical = (
+        int(warm.global_triangles) == int(rebuild.global_triangles)
+        and warm.outcome.clocks == rebuild.outcome.clocks
+        and int(cold.global_triangles) == int(rebuild_first.global_triangles)
+        and cold.outcome.clocks == rebuild_first.outcome.clocks)
+    return {
+        "rebuild_warm_wall_s": rebuild_warm,
+        "resident_warm_wall_s": resident_warm,
+        "warm_speedup": rebuild_warm / resident_warm,
+        "bit_identical": bool(identical),
+        "global_triangles": int(warm.global_triangles),
+        "simulated_time_s": float(warm.time),
+        "grid_builds": grid_builds,
+        "nranks": STORE_NRANKS,
+    }
+
+
+def bench_version_propagation(quick: bool = False) -> dict[str, Any]:
+    """Mixed read/write serving over the store, FIFO vs affinity.
+
+    The scheduler-independence contract now covers three layers at once:
+    per-query answer bytes, the graph version each query *observed*, and
+    each graph's chained version-history digest — all folded into the
+    per-request digests :func:`~repro.serve.engine.answers_identical`
+    compares.  The workload mixes ``lcc`` (1D resident cluster) with
+    ``tc2d`` (resident 2D grid), so one committed update propagates into
+    both partitionings of the same stored graph.
+    """
+    catalog = default_catalog(scale=0.3 if quick else 0.5)
+    spec = WorkloadSpec(
+        n_queries=48 if quick else 150, arrival_rate=2000.0,
+        n_tenants=8 if quick else 12, graphs=tuple(catalog),
+        kernels=("lcc", "tc2d"), seed=STORE_SEED,
+        update_mix=0.3, update_edges=8)
+    requests = generate_workload(spec, catalog)
+    config = ServeConfig(nranks=8, threads=BENCH_THREADS, pool_capacity=3)
+    outcomes = {}
+    for name in ("fifo", "affinity"):
+        engine = ServingEngine(catalog, config, make_scheduler(name))
+        outcomes[name] = engine.serve(requests)
+    fifo, aff = outcomes["fifo"], outcomes["affinity"]
+    return {
+        "n_requests": len(requests),
+        "n_updates": fifo.aggregates["n_updates"],
+        "update_mix": spec.update_mix,
+        "results_identical": answers_identical(fifo, aff),
+        "version_histories_identical": fifo.graph_versions == aff.graph_versions,
+        "final_versions": {name: v for name, (v, _) in
+                           sorted(fifo.graph_versions.items())},
+        "schedulers": {name: {
+            "throughput_qps": o.aggregates["throughput_qps"],
+            "warm_fraction": o.aggregates["warm_fraction"],
+            "updates_coalesced": o.aggregates["updates_coalesced"],
+            "rekeyed_entries": o.aggregates.get("rekeyed_entries", 0),
+            "invalidated_entries": o.aggregates.get("invalidated_entries", 0),
+        } for name, o in outcomes.items()},
+    }
+
+
+def bench_delete_heavy(graph: CSRGraph, *, rounds: int = 6,
+                       seed: int = STORE_SEED) -> dict[str, Any]:
+    """Sustained shrinkage: delete-dominated batches, round after round.
+
+    Each round applies a batch that is >= 75% deletes through the
+    incremental fold and cross-checks it bit-identically against a full
+    recompute of the shrunken graph; degrees are tracked so the report
+    shows the collapse below the min-degree-2 preprocessing threshold
+    (vertices that can no longer be in any triangle).
+    """
+    state = IncrementalState.from_graph(graph)
+    m0 = graph.m
+    identical = True
+    batch_edges = max(8, graph.m // 20)
+    for r in range(rounds):
+        batch = random_update_batch(
+            state.graph, batch_edges, DELETE_HEAVY_FRACTION,
+            seed=derive_seed(seed, "store-del", graph.name, r))
+        state.apply(batch)
+        identical = identical and (
+            np.array_equal(triangles_per_vertex_batched(state.graph),
+                           state.tpv)
+            and np.array_equal(triangles_min_vertex(state.graph), state.tmin))
+    degrees = state.graph.degrees()
+    return {
+        "rounds": rounds,
+        "delete_fraction": DELETE_HEAVY_FRACTION,
+        "edges_before": int(m0),
+        "edges_after": int(state.graph.m),
+        "bit_identical": bool(identical),
+        "collapsed_below_min_degree": int((degrees < 2).sum()),
+    }
+
+
+def bench_delete_heavy_serving(quick: bool = False) -> dict[str, Any]:
+    """A delete-dominated serving trace must stay scheduler-independent."""
+    catalog = default_catalog(scale=0.25 if quick else 0.4)
+    spec = WorkloadSpec(
+        n_queries=32 if quick else 80, arrival_rate=2000.0,
+        n_tenants=6, graphs=tuple(catalog), seed=STORE_SEED,
+        update_mix=0.35, update_edges=10).delete_heavy()
+    requests = generate_workload(spec, catalog)
+    config = ServeConfig(nranks=8, threads=BENCH_THREADS, pool_capacity=3)
+    outcomes = {
+        name: ServingEngine(catalog, config, make_scheduler(name))
+        .serve(requests)
+        for name in ("fifo", "affinity")}
+    fifo, aff = outcomes["fifo"], outcomes["affinity"]
+    return {
+        "n_requests": len(requests),
+        "n_updates": fifo.aggregates["n_updates"],
+        "delete_fraction": spec.update_delete_fraction,
+        "edges_deleted": fifo.aggregates.get("edges_deleted", 0),
+        "edges_inserted": fifo.aggregates.get("edges_inserted", 0),
+        "results_identical": answers_identical(fifo, aff),
+    }
+
+
+def run_store_bench(quick: bool = False,
+                    graphs: Mapping[str, CSRGraph] | None = None
+                    ) -> dict[str, Any]:
+    """Produce the full store report dict (see module docstring)."""
+    graphs = dict(graphs) if graphs is not None else bench_graphs(quick)
+    report: dict[str, Any] = {
+        "schema_version": STORE_SCHEMA_VERSION,
+        "quick": quick,
+        "nranks": STORE_NRANKS,
+        "threads": BENCH_THREADS,
+        "graphs": {name: {"vertices": g.n, "edges": g.m}
+                   for name, g in graphs.items()},
+        "tc2d": {},
+        "versions": bench_version_propagation(quick),
+        "delete_heavy": {"serving": bench_delete_heavy_serving(quick)},
+    }
+    for gname, graph in graphs.items():
+        report["tc2d"][gname] = bench_tc2d_resident(graph)
+        report["delete_heavy"][gname] = bench_delete_heavy(graph)
+    return report
+
+
+def check_store_report(report: Mapping[str, Any], *,
+                       min_speedup: float = MIN_WARM_SPEEDUP) -> list[str]:
+    """The absolute gate a store report must pass to be recorded.
+
+    Returns human-readable problems (empty list = pass): every ``tc2d``
+    row bit-identical with warm speedup above the floor (2x even for
+    quick runs — the resident grid must always beat a full rebuild),
+    scheduler-independent versioned serving, and delete-heavy shrinkage
+    bit-identical to full recomputes.
+    """
+    problems = []
+    for key in STORE_REPORT_KEYS:
+        if key not in report:
+            problems.append(f"store report missing key {key!r}")
+    for gname, row in report.get("tc2d", {}).items():
+        if not row.get("bit_identical", False):
+            problems.append(
+                f"tc2d:{gname}: resident grid answers/clocks differ from "
+                "the per-call rebuild path")
+        if float(row.get("warm_speedup", 0.0)) < min_speedup:
+            problems.append(
+                f"tc2d:{gname}: warm speedup "
+                f"{row.get('warm_speedup', 0.0):.2f}x below the "
+                f"{min_speedup:.1f}x floor")
+        if int(row.get("grid_builds", 0)) != 1:
+            problems.append(
+                f"tc2d:{gname}: grid was built "
+                f"{row.get('grid_builds')}x (resident path must build once)")
+    versions = report.get("versions", {})
+    if versions.get("results_identical") is not True:
+        problems.append(
+            "versions: mixed read/write answers are not proven identical "
+            "between schedulers (graph fence or propagation broken?)")
+    if versions.get("version_histories_identical") is not True:
+        problems.append(
+            "versions: per-graph version histories differ between "
+            "schedulers (store commits are scheduler-dependent?)")
+    if versions.get("n_updates", 0) <= 0:
+        problems.append("versions: the serving run exercised no updates")
+    delete_heavy = report.get("delete_heavy", {})
+    for gname, row in delete_heavy.items():
+        if gname == "serving":
+            if row.get("results_identical") is not True:
+                problems.append(
+                    "delete_heavy:serving: answers are not "
+                    "scheduler-independent under deletion-heavy traffic")
+            continue
+        if not row.get("bit_identical", False):
+            problems.append(
+                f"delete_heavy:{gname}: incremental fold diverged from the "
+                "full recompute under sustained shrinkage")
+        if int(row.get("edges_after", 0)) >= int(row.get("edges_before", 0)):
+            problems.append(
+                f"delete_heavy:{gname}: the graph did not shrink "
+                "(scenario is not deletion-dominated)")
+    return problems
+
+
+def check_store_against_baseline(report: Mapping[str, Any],
+                                 baseline: Mapping[str, Any], *,
+                                 tolerance: float = 0.25) -> list[str]:
+    """CI gate: a fresh (quick) report versus the committed baseline.
+
+    Correctness clauses are absolute (bit-identity, scheduler and
+    version-history independence, shrinkage parity) and the 2x warm
+    floor always applies; on top, the fresh worst-case warm speedup must
+    stay above ``tolerance`` times the baseline's, mirroring ``repro
+    bench --check`` (graph names are deliberately not matched: CI runs
+    quick sizes against the full-size baseline).
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    problems = check_store_report(report)
+
+    def min_warm(rep) -> float:
+        rows = rep.get("tc2d", {})
+        return min((float(r.get("warm_speedup", 0.0)) for r in rows.values()),
+                   default=0.0)
+
+    if not baseline.get("tc2d"):
+        problems.append(
+            "baseline has no tc2d section (is --check pointed at a "
+            "BENCH_store.json?)")
+        return problems
+    floor = tolerance * min_warm(baseline)
+    fresh = min_warm(report)
+    if fresh < floor:
+        problems.append(
+            f"tc2d warm speedup {fresh:.2f}x fell below {floor:.2f}x "
+            f"({tolerance:.0%} of the baseline's {min_warm(baseline):.2f}x)")
+    return problems
+
+
+def write_store_report(report: Mapping[str, Any], path: str, *,
+                       gate: bool = True) -> None:
+    """Gate-check (optionally), schema-check and write the store report.
+
+    ``gate=False`` skips the absolute gate and only schema-checks — for
+    CI runs whose pass/fail verdict comes from
+    :func:`check_store_against_baseline` instead (the measured report
+    should land on disk as an artifact either way).
+    """
+    if gate:
+        problems = check_store_report(report)
+        if problems:
+            raise ValueError("; ".join(problems))
+    write_report(report, path, required_keys=STORE_REPORT_KEYS)
+
+
+# ---------------------------------------------------------------------------
+# One-off CLI runs (``repro store`` without --bench)
+# ---------------------------------------------------------------------------
+
+def one_off_store_run(graph: CSRGraph, *, nranks: int = STORE_NRANKS,
+                      threads: int = BENCH_THREADS, n_edges: int = 16,
+                      delete_fraction: float = 0.25, seed: int = 0
+                      ) -> dict[str, Any]:
+    """Resident-vs-rebuild tc2d plus one versioned update; report everything."""
+    from repro.graphstore import GraphStore
+
+    config = LCCConfig(nranks=nranks, threads=threads)
+    name = graph.name or "graph"
+    store = GraphStore({name: graph})
+    batch = random_update_batch(graph, n_edges, delete_fraction, seed=seed)
+    # Time the rebuild oracle on the SAME (pre-update) graph the warm
+    # query serves — the update may change the graph size materially.
+    t0 = time.perf_counter()
+    run_distributed_tc_2d(graph, config)
+    rebuild_wall = time.perf_counter() - t0
+    with Session(graph, config) as session:
+        cold = session.run("tc2d")
+        t0 = time.perf_counter()
+        warm = session.run("tc2d")
+        warm_wall = time.perf_counter() - t0
+        update = store.apply(name, batch)
+        outcome = session.sync_to(update.delta)
+        post = session.run("tc2d")
+    ref = run_distributed_tc_2d(store.graph(name), config)
+    return {
+        "graph": name, "vertices": graph.n, "edges": graph.m,
+        "nranks": nranks,
+        "version": str(update.version),
+        "history_digest": update.digest[:12],
+        "edges_inserted": update.delta.n_inserted,
+        "edges_deleted": update.delta.n_deleted,
+        "touched_blocks": len(outcome.touched_blocks),
+        "update_simulated_time_s": outcome.time,
+        "cold_triangles": int(cold.global_triangles),
+        "post_update_triangles": int(post.global_triangles),
+        "post_update_matches_rebuild": bool(
+            int(post.global_triangles) == int(ref.global_triangles)
+            and post.outcome.clocks == ref.outcome.clocks),
+        "warm_wall_s": warm_wall,
+        "rebuild_wall_s": rebuild_wall,
+        "warm_speedup": rebuild_wall / warm_wall if warm_wall else 0.0,
+        "warm_matches_cold": bool(
+            int(warm.global_triangles) == int(cold.global_triangles)),
+    }

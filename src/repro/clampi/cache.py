@@ -635,6 +635,68 @@ class ClampiCache:
         self.stats.invalidated_bytes += dropped_bytes
         return dropped, dropped_bytes
 
+    def rekey(self, pairs: "Iterable[tuple[tuple, tuple]]") -> tuple[int, int]:
+        """Remap entries whose cached bytes merely *moved* in the window.
+
+        ``pairs`` is an iterable of ``(old_key, new_key)`` tuples — the
+        dynamic-graph resync computes them for adjacency lists that an
+        update shifted without changing their content.  Each present
+        ``old_key`` entry is re-registered under ``new_key``, keeping its
+        buffer, data and score metadata, so the warmth survives where
+        plain invalidation would drop it.
+
+        The remap is two-phase (detach everything, then reinsert) because
+        a new key may equal *another* pair's old key when rows slide past
+        each other.  An entry whose new slot is already occupied — only
+        possible by a positionally-retained entry serving identical bytes
+        — or whose probe window is full is dropped and counted as an
+        invalidation instead.  Each processed pair is priced like an
+        eviction.  Returns ``(entries_rekeyed, bytes_rekeyed)``.
+        """
+        if self._batch_events is not None:
+            raise CacheError("rekey() is not allowed during access_batch")
+        detached: list[tuple[CacheEntry, tuple]] = []
+        for old_key, new_key in pairs:
+            old_key, new_key = tuple(old_key), tuple(new_key)
+            entry = self.index.lookup(old_key)
+            if entry is None or old_key == new_key:
+                continue
+            self.index.remove(old_key)
+            pos = self._key_pos.pop(old_key)
+            last = self._keys.pop()
+            if pos < len(self._keys):
+                self._keys[pos] = last
+                self._key_pos[last] = pos
+                self._mirror[pos] = self._mirror[len(self._keys)]
+            detached.append((entry, new_key))
+        moved = 0
+        moved_bytes = 0
+        for entry, new_key in detached:
+            self.stats.mgmt_time += self.config.eviction_overhead
+            entry.key = new_key
+            if (self.index.lookup(new_key) is None
+                    and self.index.insert(new_key, entry)):
+                pos = len(self._keys)
+                if pos >= self._mirror.shape[0]:
+                    grown = np.zeros((2 * self._mirror.shape[0], 3),
+                                     dtype=np.int64)
+                    grown[:pos] = self._mirror[:pos]
+                    self._mirror = grown
+                self._mirror[pos] = new_key
+                self._key_pos[new_key] = pos
+                self._keys.append(new_key)
+                moved += 1
+                moved_bytes += entry.nbytes
+            else:
+                self.allocator.free(entry.buffer_offset)
+                self.stats.invalidations += 1
+                self.stats.invalidated_bytes += entry.nbytes
+        if detached:
+            self._state_epoch += 1
+        self.stats.rekeys += moved
+        self.stats.rekeyed_bytes += moved_bytes
+        return moved, moved_bytes
+
     # -- maintenance ---------------------------------------------------------------
     def flush(self) -> None:
         """Drop every entry (compulsory-miss history is preserved)."""

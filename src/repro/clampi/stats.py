@@ -26,6 +26,8 @@ class CacheStats:
     adaptive_resizes: int = 0
     invalidations: int = 0    # entries evicted because their data changed
     invalidated_bytes: int = 0
+    rekeys: int = 0           # entries retained under a new key (data moved)
+    rekeyed_bytes: int = 0
 
     bytes_served_from_cache: int = 0
     bytes_fetched: int = 0
@@ -77,6 +79,8 @@ class CacheStats:
             "flushes": self.flushes,
             "invalidations": self.invalidations,
             "invalidated_bytes": self.invalidated_bytes,
+            "rekeys": self.rekeys,
+            "rekeyed_bytes": self.rekeyed_bytes,
             "bytes_served_from_cache": self.bytes_served_from_cache,
             "bytes_fetched": self.bytes_fetched,
             "mgmt_time": self.mgmt_time,
@@ -88,7 +92,8 @@ class CacheStats:
             "hits", "misses", "compulsory_misses", "capacity_evictions",
             "conflict_evictions", "hash_conflicts", "insert_failures",
             "flushes", "adaptive_resizes", "invalidations",
-            "invalidated_bytes", "bytes_served_from_cache", "bytes_fetched",
+            "invalidated_bytes", "rekeys", "rekeyed_bytes",
+            "bytes_served_from_cache", "bytes_fetched",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.mgmt_time += other.mgmt_time

@@ -334,6 +334,83 @@ def cmd_update(args) -> int:
     return 0
 
 
+#: One-off defaults of ``repro store`` (same drift guard as ``update``).
+STORE_DEFAULTS = {"nranks": 9, "threads": 4, "edges": 16,
+                  "delete_fraction": 0.25, "scale": 1.0, "seed": 0}
+
+
+def cmd_store(args) -> int:
+    from repro.analysis.benchreport import load_report
+    from repro.analysis.store import (
+        check_store_against_baseline,
+        one_off_store_run,
+        run_store_bench,
+        write_store_report,
+    )
+
+    if args.bench:
+        ignored = [flag for flag, is_default in (
+            ("a dataset", args.dataset is None and args.input is None),
+            ("--directed", not args.directed),
+            ("--json", not args.json),
+            *((f"--{name.replace('_', '-')}",
+               getattr(args, name) == default)
+              for name, default in STORE_DEFAULTS.items()),
+        ) if not is_default]
+        if ignored:
+            raise SystemExit(
+                f"store --bench uses the pinned benchmark graphs/config; "
+                f"{', '.join(ignored)} would be ignored — drop them (or run "
+                "without --bench for a one-off configurable run)")
+        baseline = load_report(args.check) if args.check else None
+        report = run_store_bench(quick=args.quick)
+        # With a baseline, the tolerance gate below owns the verdict (it
+        # re-checks every correctness clause and the 2x warm floor).
+        write_store_report(report, args.bench, gate=baseline is None)
+        for gname, row in report["tc2d"].items():
+            print(f"{gname:12s} resident tc2d {row['warm_speedup']:8.1f}x vs "
+                  f"per-call rebuild  "
+                  f"(bit-identical: {row['bit_identical']})")
+        ver = report["versions"]
+        print(f"versions     {ver['n_updates']} updates in "
+              f"{ver['n_requests']} requests  answers identical: "
+              f"{ver['results_identical']}  histories identical: "
+              f"{ver['version_histories_identical']}")
+        for sname, agg in ver["schedulers"].items():
+            print(f"  {sname:9s} coalesced {agg['updates_coalesced']:3d}  "
+                  f"rekeyed {agg['rekeyed_entries']:5d}  "
+                  f"warm {agg['warm_fraction']:.2f}")
+        dh = report["delete_heavy"]
+        print(f"delete-heavy serving answers identical: "
+              f"{dh['serving']['results_identical']}  "
+              + "  ".join(f"{g}: -{row['edges_before'] - row['edges_after']} "
+                          f"edges ok={row['bit_identical']}"
+                          for g, row in dh.items() if g != "serving"))
+        print(f"store report written to {args.bench}", file=sys.stderr)
+        if baseline is not None:
+            problems = check_store_against_baseline(report, baseline)
+            if problems:
+                for problem in problems:
+                    print(f"store check: {problem}", file=sys.stderr)
+                print(f"store check FAILED against baseline {args.check}",
+                      file=sys.stderr)
+                return 1
+            print(f"store check OK against baseline {args.check}",
+                  file=sys.stderr)
+        return 0
+
+    if args.check or args.quick:
+        raise SystemExit(
+            "--check/--quick only apply to the recorded benchmark; "
+            "add --bench PATH (or drop them for a one-off run)")
+    g = _load_graph(args)
+    payload = one_off_store_run(
+        g, nranks=args.nranks, threads=args.threads, n_edges=args.edges,
+        delete_fraction=args.delete_fraction, seed=args.seed)
+    _emit(args, payload)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.analysis.serving import run_serving_bench, write_serve_report
     from repro.serve import (
@@ -523,6 +600,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "incremental speedup drops below tolerance x this "
                         "committed baseline")
     p.set_defaults(fn=cmd_update)
+
+    p = sub.add_parser(
+        "store",
+        help="versioned graph store: resident 2D grids + update propagation")
+    add_graph_args(p)
+    p.add_argument("--nranks", type=int, default=STORE_DEFAULTS["nranks"])
+    p.add_argument("--threads", type=int, default=STORE_DEFAULTS["threads"])
+    p.add_argument("--edges", type=int, default=STORE_DEFAULTS["edges"],
+                   help="edges per synthetic update batch")
+    p.add_argument("--delete-fraction", type=float,
+                   default=STORE_DEFAULTS["delete_fraction"],
+                   help="fraction of the batch that deletes existing edges")
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="record the graph-store benchmark "
+                        "(BENCH_store.json) instead of a one-off run")
+    p.add_argument("--quick", action="store_true",
+                   help="small --bench sizes (CI smoke run)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="regression gate: fail if the fresh --bench run "
+                        "loses bit-identity, scheduler/version "
+                        "independence, the 2x warm-tc2d floor, or drops "
+                        "below tolerance x this committed baseline")
+    p.set_defaults(fn=cmd_store)
 
     p = sub.add_parser(
         "serve",

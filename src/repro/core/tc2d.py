@@ -17,6 +17,14 @@ from O(edge-cut) to two block strips: the "lower communication cost than
 Blocks travel as packed CSR (``[n_rows, nnz, indptr..., indices...]``)
 through a single RMA window; computation is priced per sparse-multiply
 operand and output element.
+
+The module is split the same way :mod:`repro.core.lcc` is: *setup*
+(:func:`build_grid_blocks` + a window) and *execution*
+(:func:`execute_tc2d`), so a resident
+:class:`~repro.graphstore.grid2d.GridCluster2D` can build the grid once
+and serve any number of warm queries, while the legacy per-call entry
+point :func:`run_distributed_tc_2d` keeps rebuilding everything per call
+(it is the resident path's bit-identity oracle).
 """
 
 from __future__ import annotations
@@ -32,8 +40,11 @@ from repro.runtime.engine import Engine
 from repro.runtime.window import Window
 from repro.utils.errors import ConfigError
 
+#: Window name the packed blocks are exposed through.
+BLOCKS_WINDOW = "edge_blocks"
 
-def _pack_block(block: sp.csr_matrix) -> np.ndarray:
+
+def pack_block(block: sp.csr_matrix) -> np.ndarray:
     """Serialize a CSR block into one int32 vector for the RMA window."""
     return np.concatenate([
         np.array([block.shape[0], block.nnz], dtype=np.int32),
@@ -43,7 +54,7 @@ def _pack_block(block: sp.csr_matrix) -> np.ndarray:
 
 
 def _unpack_block(data: np.ndarray, n_cols: int) -> sp.csr_matrix:
-    """Inverse of :func:`_pack_block`."""
+    """Inverse of :func:`pack_block`."""
     n_rows = int(data[0])
     nnz = int(data[1])
     indptr = data[2:3 + n_rows].astype(np.int64)
@@ -52,8 +63,35 @@ def _unpack_block(data: np.ndarray, n_cols: int) -> sp.csr_matrix:
     return sp.csr_matrix((values, indices, indptr), shape=(n_rows, n_cols))
 
 
-def _build_blocks(graph: CSRGraph, grid: GridPartition2D
-                  ) -> list[sp.csr_matrix]:
+def build_block(graph: CSRGraph, grid: GridPartition2D, rank: int
+                ) -> sp.csr_matrix:
+    """One rank's local CSR block, rebuilt directly from the global CSR.
+
+    Equivalent to the ``rank`` element of :func:`build_grid_blocks` but
+    touches only this block's row range — the unit of work a dynamic
+    resync pays per *touched* block instead of re-splitting every edge.
+    """
+    row, col = grid.grid_coords(rank)
+    r_lo, r_hi = grid.row_range(row)
+    c_lo, c_hi = grid.col_range(col)
+    shape = (r_hi - r_lo, c_hi - c_lo)
+    start, end = int(graph.offsets[r_lo]), int(graph.offsets[r_hi])
+    adj = graph.adjacency[start:end].astype(np.int64, copy=False)
+    mask = (adj >= c_lo) & (adj < c_hi)
+    if not mask.any():
+        return sp.csr_matrix(shape, dtype=np.int64)
+    degs = (graph.offsets[r_lo + 1:r_hi + 1]
+            - graph.offsets[r_lo:r_hi]).astype(np.int64)
+    rows = np.repeat(np.arange(shape[0], dtype=np.int64), degs)
+    return sp.csr_matrix(
+        (np.ones(int(mask.sum()), dtype=np.int64),
+         (rows[mask], adj[mask] - c_lo)),
+        shape=shape,
+    )
+
+
+def build_grid_blocks(graph: CSRGraph, grid: GridPartition2D
+                      ) -> list[sp.csr_matrix]:
     """One local CSR block per rank, in rank order."""
     per_rank_edges = split_edges_2d(graph, grid)
     blocks = []
@@ -74,21 +112,27 @@ def _build_blocks(graph: CSRGraph, grid: GridPartition2D
     return blocks
 
 
-def run_distributed_tc_2d(graph: CSRGraph, config: LCCConfig | None = None
-                          ) -> DistributedRunResult:
-    """Asynchronous triangle count over a 2D grid partition."""
-    if graph.directed:
-        raise ConfigError("2D triangle counting expects an undirected graph")
-    config = config or LCCConfig()
-    engine = Engine(config.nranks, network=config.network,
-                    memory=config.memory, compute=config.compute)
-    grid = GridPartition2D(graph.n, config.nranks)
-    blocks = _build_blocks(graph, grid)
-    packed = [_pack_block(b) for b in blocks]
-    win = engine.windows.add(Window("edge_blocks", packed))
-    for rank in range(config.nranks):
-        win.lock_all(rank)
-    counts = np.zeros(config.nranks, dtype=np.int64)
+# Backwards-compatible aliases (pre-refactor private names).
+_pack_block = pack_block
+_build_blocks = build_grid_blocks
+
+
+def require_square_grid(grid: GridPartition2D) -> bool:
+    """True when the SUMMA-style square-grid kernel applies."""
+    return grid.rows == grid.cols
+
+
+def execute_tc2d(engine: Engine, grid: GridPartition2D,
+                 blocks: list[sp.csr_matrix], win: Window,
+                 config: LCCConfig, graph: CSRGraph) -> DistributedRunResult:
+    """Run the 2D triangle count on an already-built grid cluster.
+
+    Epochs must be open on entry and are left open on return (the
+    resident cluster keeps them open across queries; the per-call path
+    never reuses the engine).  Remote block fetches go through any
+    CLaMPI caches attached to ``win``, exactly like the 1D kernels.
+    """
+    counts = np.zeros(grid.nranks, dtype=np.int64)
     cm = config.compute
 
     # The inner index K must range over one shared blocking of the vertex
@@ -96,9 +140,8 @@ def run_distributed_tc_2d(graph: CSRGraph, config: LCCConfig | None = None
     # coincide and the SUMMA-style sum below applies directly.  Non-square
     # grids take a correctness-first fallback that still exhibits the 2D
     # communication pattern.
-    if grid.rows != grid.cols:
-        return _run_rectangular_fallback(graph, config, engine, grid, blocks,
-                                         packed, win, counts)
+    if not require_square_grid(grid):
+        return _execute_rectangular_fallback(engine, grid, win, graph)
 
     def rank_fn_square(ctx: SimContext) -> int:
         rank = ctx.rank
@@ -122,13 +165,34 @@ def run_distributed_tc_2d(graph: CSRGraph, config: LCCConfig | None = None
     outcome = engine.run(rank_fn_square)
     total = int(counts.sum())
     assert total % 6 == 0, f"2D triplet total {total} not divisible by 6"
-    result = DistributedRunResult(
+    return DistributedRunResult(
         lcc=None,
         triangles_per_vertex=None,
         global_triangles=total // 6,
         outcome=outcome,
     )
-    return result
+
+
+def run_distributed_tc_2d(graph: CSRGraph, config: LCCConfig | None = None
+                          ) -> DistributedRunResult:
+    """Asynchronous triangle count over a throwaway 2D grid partition.
+
+    Rebuilds the engine, grid, blocks and window on every call — the
+    legacy behavior, kept as the oracle the resident
+    ``GridCluster2D`` path is pinned bit-identical against.
+    """
+    if graph.directed:
+        raise ConfigError("2D triangle counting expects an undirected graph")
+    config = config or LCCConfig()
+    engine = Engine(config.nranks, network=config.network,
+                    memory=config.memory, compute=config.compute)
+    grid = GridPartition2D(graph.n, config.nranks)
+    blocks = build_grid_blocks(graph, grid)
+    win = engine.windows.add(Window(BLOCKS_WINDOW,
+                                    [pack_block(b) for b in blocks]))
+    for rank in range(config.nranks):
+        win.lock_all(rank)
+    return execute_tc2d(engine, grid, blocks, win, config, graph)
 
 
 def _fetch_block(ctx: SimContext, win: Window, blocks, grid, owner: int
@@ -142,8 +206,9 @@ def _fetch_block(ctx: SimContext, win: Window, blocks, grid, owner: int
     return _unpack_block(data, c_hi - c_lo)
 
 
-def _run_rectangular_fallback(graph, config, engine, grid, blocks, packed,
-                              win, counts) -> DistributedRunResult:
+def _execute_rectangular_fallback(engine: Engine, grid: GridPartition2D,
+                                  win: Window, graph: CSRGraph
+                                  ) -> DistributedRunResult:
     """Non-square grids: every rank fetches the blocks it needs and the
     count is assembled from the full matrix (correctness-first path)."""
 
@@ -158,10 +223,9 @@ def _run_rectangular_fallback(graph, config, engine, grid, blocks, packed,
     outcome = engine.run(rank_fn)
     from repro.core.local import triangle_count_local
 
-    result = DistributedRunResult(
+    return DistributedRunResult(
         lcc=None,
         triangles_per_vertex=None,
         global_triangles=triangle_count_local(graph),
         outcome=outcome,
     )
-    return result

@@ -226,6 +226,7 @@ class DeltaResult:
     graph: CSRGraph               # the post-update graph (new object)
     affected: np.ndarray          # sorted vertex ids whose results may change
     endpoints: np.ndarray         # sorted endpoints of effectively changed edges
+    changed_keys: np.ndarray      # stored-form u*n+v keys of changed edges
     n_inserted: int               # edges actually added (paper count)
     n_deleted: int                # edges actually removed
     n_skipped_inserts: int = 0    # already present (strict=False only)
@@ -385,6 +386,7 @@ def apply_delta(graph: CSRGraph, batch: UpdateBatch, *,
         affected=_affected_vertices(graph, new_graph, eff_ins, eff_del,
                                     endpoints),
         endpoints=endpoints,
+        changed_keys=np.sort(changed),
         n_inserted=n_ins // div,
         n_deleted=eff_del.shape[0] // div,
         n_skipped_inserts=int(ins_present.sum()) // div,

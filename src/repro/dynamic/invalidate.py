@@ -1,4 +1,4 @@
-"""Targeted CLaMPI invalidation after an edge-update batch.
+"""Targeted CLaMPI invalidation (and rekeying) after an edge-update batch.
 
 The cache keys remote gets by ``(target, offset, count)``; after a batch
 is applied and a rank's CSR slice rebuilt, three kinds of entries can go
@@ -20,8 +20,13 @@ vertex it now belongs to — is served correctly.  This makes the
 invalidation exact, not heuristic: tests cross-check post-update cached
 runs against cold full recomputes bit-for-bit.
 
-(Entries that merely *shifted* are dropped rather than rekeyed; rekeying
-them to their new offsets would retain more warmth and is an open item.)
+Adjacency entries whose list merely *moved* — an earlier vertex on the
+rank changed degree, shifting the unchanged list to a new start — are not
+dropped but **rekeyed**: the plan maps ``(target, old_start, count) ->
+(target, new_start, count)`` and :meth:`~repro.clampi.cache.ClampiCache
+.rekey` re-registers the entry under its new key, retaining that warmth
+too.  Offsets entries cannot be rekeyed (the shifted pair *is* the
+cached data, so its bytes did change).
 """
 
 from __future__ import annotations
@@ -40,32 +45,50 @@ __all__ = ["ResyncPlan", "resync_distributed", "stale_part_keys"]
 def stale_part_keys(target: int, old_offsets: np.ndarray,
                     old_adjacency: np.ndarray, new_offsets: np.ndarray,
                     new_adjacency: np.ndarray
-                    ) -> tuple[list[tuple], list[tuple]]:
-    """Cache keys invalidated by swapping one rank's CSR slice.
+                    ) -> tuple[list[tuple], list[tuple], list[tuple]]:
+    """Cache keys invalidated or remapped by swapping one rank's CSR slice.
 
-    Returns ``(offsets_keys, adjacency_keys)`` for window reads targeting
-    ``target``.  Keys are computed against the *old* layout (that is what
-    sits in the caches); an entry is kept only if the new layout serves
-    byte-identical data for its key.
+    Returns ``(offsets_keys, adjacency_keys, adjacency_rekeys)`` for
+    window reads targeting ``target``.  Keys are computed against the
+    *old* layout (that is what sits in the caches); an entry is kept in
+    place only if the new layout serves byte-identical data for its key,
+    and remapped (``adjacency_rekeys`` holds ``(old_key, new_key)``
+    pairs) when its unchanged list merely moved to a new start.
     """
     old_s, old_e = old_offsets[:-1], old_offsets[1:]
     new_s, new_e = new_offsets[:-1], new_offsets[1:]
+    old_len = old_e - old_s
+    new_len = new_e - new_s
     pair_ok = (old_s == new_s) & (old_e == new_e)
 
     row_ok = pair_ok.copy()
-    cand = np.flatnonzero(pair_ok & (old_e > old_s))
+    cand = np.flatnonzero(pair_ok & (old_len > 0))
     if cand.size:
         # Same (start, end) in both layouts: compare content in place.
-        lens = (old_e - old_s)[cand]
+        lens = old_len[cand]
         old_rows, bounds = gather_ranges(old_adjacency, old_s[cand], lens)
         new_rows, _ = gather_ranges(new_adjacency, old_s[cand], lens)
         changed = np.add.reduceat(old_rows != new_rows, bounds[:-1]) > 0
         row_ok[cand[changed]] = False
 
+    # Shifted rows with unchanged length: content-compare old vs new
+    # position; equal bytes mean the entry is rekeyable, not stale.
+    movable = np.zeros(row_ok.shape[0], dtype=bool)
+    mcand = np.flatnonzero(~pair_ok & (old_len == new_len) & (old_len > 0))
+    if mcand.size:
+        lens = old_len[mcand]
+        old_rows, bounds = gather_ranges(old_adjacency, old_s[mcand], lens)
+        new_rows, _ = gather_ranges(new_adjacency, new_s[mcand], lens)
+        same = np.add.reduceat(old_rows != new_rows, bounds[:-1]) == 0
+        movable[mcand[same]] = True
+
     off_keys = [(target, int(li), 2) for li in np.flatnonzero(~pair_ok)]
-    adj_keys = [(target, int(old_s[li]), int(old_e[li] - old_s[li]))
-                for li in np.flatnonzero(~row_ok)]
-    return off_keys, adj_keys
+    adj_keys = [(target, int(old_s[li]), int(old_len[li]))
+                for li in np.flatnonzero(~row_ok & ~movable)]
+    rekeys = [((target, int(old_s[li]), int(old_len[li])),
+               (target, int(new_s[li]), int(old_len[li])))
+              for li in np.flatnonzero(movable)]
+    return off_keys, adj_keys, rekeys
 
 
 @dataclass
@@ -75,6 +98,7 @@ class ResyncPlan:
     touched_ranks: tuple[int, ...]
     offsets_keys: list[tuple] = field(default_factory=list)
     adjacency_keys: list[tuple] = field(default_factory=list)
+    adjacency_rekeys: list[tuple] = field(default_factory=list)
     rebuilt_bytes_by_rank: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -89,8 +113,9 @@ def resync_distributed(dist: DistributedCSR, new_graph: CSRGraph,
     Only ranks owning an endpoint of a changed edge are rebuilt (a
     vertex's CSR row changes only if its own edge set did); every other
     rank's windows — and any cache entries pointing at them — are left
-    untouched.  Returns the plan with the per-target stale keys; the
-    caller pushes those through every rank's caches and then calls
+    untouched.  Returns the plan with the per-target stale keys and
+    rekeyable moves; the caller pushes those through every rank's caches
+    and then calls
     :meth:`~repro.graph.distributed.DistributedCSR.rebind_graph`.
     """
     if endpoints.size == 0:
@@ -102,10 +127,11 @@ def resync_distributed(dist: DistributedCSR, new_graph: CSRGraph,
         old_off = dist.w_offsets.local_part(rank)
         old_adj = dist.w_adj.local_part(rank)
         new_off, new_adj = split_csr_rank(new_graph, part, rank)
-        off_keys, adj_keys = stale_part_keys(rank, old_off, old_adj,
-                                             new_off, new_adj)
+        off_keys, adj_keys, rekeys = stale_part_keys(rank, old_off, old_adj,
+                                                     new_off, new_adj)
         plan.offsets_keys.extend(off_keys)
         plan.adjacency_keys.extend(adj_keys)
+        plan.adjacency_rekeys.extend(rekeys)
         dist.replace_rank_slice(rank, new_off, new_adj)
         plan.rebuilt_bytes_by_rank[rank] = int(new_off.nbytes + new_adj.nbytes)
     return plan

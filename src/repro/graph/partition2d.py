@@ -24,8 +24,31 @@ import math
 
 import numpy as np
 
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, _check_vertex_range
 from repro.utils.errors import PartitionError
+
+
+def _validate_edge_array(edges: np.ndarray, n: int) -> np.ndarray:
+    """Validate an (m, 2) edge array against an ``n``-vertex universe.
+
+    Mirrors :meth:`CSRGraph.from_edges`: the array must be integer-typed
+    with every id in ``[0, n)``; the whole array is checked in one
+    vectorized pass (min/max), not one vertex at a time.  Returns the
+    array as int64.
+    """
+    e = np.asarray(edges)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise PartitionError(f"edges must be (m, 2), got shape {e.shape}")
+    if e.dtype.kind not in "iu":
+        raise PartitionError(
+            f"edges must be an integer array, got dtype {e.dtype}")
+    if e.size:
+        if int(e.min()) < 0:
+            raise PartitionError("negative vertex id in edge array")
+        if int(e.max()) >= n:
+            raise PartitionError(
+                f"vertex id {int(e.max())} out of range for n={n}")
+    return e.astype(np.int64, copy=False)
 
 
 class GridPartition2D:
@@ -42,6 +65,7 @@ class GridPartition2D:
             raise PartitionError(f"need >= 1 rank, got {nranks}")
         if n < 0:
             raise PartitionError(f"negative vertex count {n}")
+        _check_vertex_range(n)  # same int32-wrap guard as CSRGraph.from_edges
         self.n = int(n)
         self.nranks = int(nranks)
         self.rows = int(math.isqrt(nranks))
@@ -75,7 +99,14 @@ class GridPartition2D:
         return self.row_of(u) * self.cols + self.col_of(v)
 
     def owners_of_edges(self, edges: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`owner_of_edge` for an (m, 2) array."""
+        """Vectorized :meth:`owner_of_edge` for an (m, 2) array.
+
+        The whole array is range-validated in one pass (the scalar
+        ``_check_vertex`` loop would dominate on large edge sets); a
+        malformed or out-of-range array is rejected exactly as
+        :meth:`CSRGraph.from_edges` rejects it.
+        """
+        edges = _validate_edge_array(edges, self.n)
         rows = np.searchsorted(self._row_starts, edges[:, 0], side="right") - 1
         cols = np.searchsorted(self._col_starts, edges[:, 1], side="right") - 1
         return rows * self.cols + cols
@@ -107,10 +138,18 @@ class GridPartition2D:
             raise PartitionError(f"vertex {v} out of range [0, {self.n})")
 
 
-def split_edges_2d(graph: CSRGraph, grid: GridPartition2D
-                   ) -> list[np.ndarray]:
-    """Per-rank (m_r, 2) edge arrays under the grid partition."""
-    edges = graph.edges()
+def split_edges_2d(graph: CSRGraph, grid: GridPartition2D,
+                   edges: np.ndarray | None = None) -> list[np.ndarray]:
+    """Per-rank (m_r, 2) edge arrays under the grid partition.
+
+    ``edges`` defaults to the graph's own (always in-range) edge list; a
+    caller-supplied array is validated wholesale by
+    :meth:`GridPartition2D.owners_of_edges` — out-of-range or
+    non-integer arrays are rejected the same way ``CSRGraph.from_edges``
+    rejects them, before any rank sees a malformed slice.
+    """
+    if edges is None:
+        edges = graph.edges()
     owners = grid.owners_of_edges(edges)
     return [edges[owners == r] for r in range(grid.nranks)]
 

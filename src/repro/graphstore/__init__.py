@@ -1,0 +1,61 @@
+"""Versioned graph storage + the resident clusters that serve it.
+
+The architectural spine of the dynamic serving system::
+
+    GraphStore (name -> version chain of CSR snapshots + deltas)
+        |                 one commit = one GraphVersion advance
+        v
+    ResidentCluster      (per session: engine + partitioned data + caches)
+      Cluster1D          -- the paper's 1D block/cyclic partition
+      GridCluster2D      -- the 2D grid blocks tc2d runs on
+        |                 resync() folds a delta in surgically
+        v
+    CLaMPI caches        (targeted invalidation + rekeying keep warmth)
+
+One graph, many configs, many partitionings: a committed update advances
+the store's version once, and every resident view of that graph — any
+variant's 1D cluster, the 2D grid, every cache — is resynced from the
+same :class:`~repro.dynamic.delta.DeltaResult`, so they can never
+diverge.  The chained per-version digest makes a graph's whole history
+one comparable value, which is how the serving layer proves its
+schedulers equivalent.
+
+Quickstart::
+
+    from repro.graphstore import GraphStore
+
+    store = GraphStore({"social": graph})
+    store.stage("social", inserts=[(0, 7)])
+    store.stage("social", deletes=[(3, 9)])
+    update = store.commit("social")        # one flush, one version
+    assert str(update.version) == "social@v1"
+    assert store.digest("social") != store.digest("social", 0)
+"""
+
+from repro.graphstore.grid2d import (
+    GridCluster2D,
+    stale_block_keys,
+    touched_blocks,
+)
+from repro.graphstore.resident import Cluster1D, ClusterResync, ResidentCluster
+from repro.graphstore.store import (
+    GraphStore,
+    GraphVersion,
+    StoreUpdate,
+    VersionRecord,
+    graph_digest,
+)
+
+__all__ = [
+    "Cluster1D",
+    "ClusterResync",
+    "GraphStore",
+    "GraphVersion",
+    "GridCluster2D",
+    "ResidentCluster",
+    "StoreUpdate",
+    "VersionRecord",
+    "graph_digest",
+    "stale_block_keys",
+    "touched_blocks",
+]

@@ -1,0 +1,282 @@
+"""The versioned graph store: one graph, many configs, many partitionings.
+
+Before this layer, every consumer of a graph owned its own copy of the
+truth: each ``(graph, variant)`` serving session carried a private
+post-update graph, ``tc2d`` re-derived its grid blocks per call, and two
+variants of the same catalog graph could silently diverge.  The
+:class:`GraphStore` makes the graph itself the unit of state:
+
+* every named graph has a **monotonic version** — ``name@v0`` is the
+  graph as registered, and each committed :class:`~repro.dynamic.delta
+  .UpdateBatch` advances it by exactly one;
+* the store keeps the **delta chain**: per version, the batch that
+  produced it, the resulting snapshot and its
+  :class:`~repro.dynamic.delta.DeltaResult` (affected set, changed edge
+  keys) — everything a resident cluster needs to resync *surgically*
+  instead of rebuilding;
+* a **chained digest** (``h_v = sha1(h_{v-1} | graph bytes)``) summarizes
+  the entire version history in one hash, so two serving runs proving
+  equal digests have provably observed the same per-graph history — the
+  scheduler-independence check of :mod:`repro.serve` builds on this;
+* **staging** (:meth:`stage` / :meth:`commit`) coalesces many pending
+  edge operations into a single flush through a
+  :class:`~repro.dynamic.delta.DeltaBuffer` with last-writer-wins
+  semantics — what the serving scheduler uses to merge consecutive
+  queued updates for one graph.
+
+The store never mutates a graph in place; snapshots are immutable
+``CSRGraph`` objects, so readers holding an old version stay correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.dynamic.delta import (
+    DeltaBuffer,
+    DeltaResult,
+    UpdateBatch,
+    apply_delta,
+)
+from repro.graph.csr import CSRGraph
+from repro.utils.errors import ConfigError
+
+__all__ = [
+    "GraphStore",
+    "GraphVersion",
+    "StoreUpdate",
+    "VersionRecord",
+    "graph_digest",
+]
+
+
+def graph_digest(graph: CSRGraph) -> str:
+    """SHA-1 over a graph's CSR bytes (offsets | adjacency)."""
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(graph.offsets).tobytes())
+    h.update(b"|")
+    h.update(np.ascontiguousarray(graph.adjacency).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True, order=True)
+class GraphVersion:
+    """A point in one graph's history: ``(name, monotonic version)``."""
+
+    name: str
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+@dataclass(frozen=True)
+class VersionRecord:
+    """One link of a graph's delta chain.
+
+    ``digest`` is the *chained* history digest up to this version, not
+    just this snapshot's bytes: equal digests imply equal full histories.
+    ``batch``/``delta`` are ``None`` only for version 0 (registration).
+    """
+
+    version: GraphVersion
+    graph: CSRGraph = field(repr=False)
+    digest: str
+    batch: Optional[UpdateBatch] = field(default=None, repr=False)
+    delta: Optional[DeltaResult] = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class StoreUpdate:
+    """What one committed batch did to the store."""
+
+    version: GraphVersion         # the version the commit advanced to
+    delta: DeltaResult            # graph-level outcome (new graph, affected)
+    digest: str                   # chained history digest at this version
+    coalesced: int = 0            # staged op-groups folded into this flush
+
+    @property
+    def graph(self) -> CSRGraph:
+        return self.delta.graph
+
+    @property
+    def changed(self) -> bool:
+        return self.delta.changed
+
+
+class GraphStore:
+    """Versioned snapshots of a catalog of named graphs."""
+
+    def __init__(self, catalog: Mapping[str, CSRGraph] | None = None):
+        self._chains: dict[str, list[VersionRecord]] = {}
+        self._staged: dict[str, tuple[DeltaBuffer, int]] = {}
+        if catalog:
+            for name, graph in catalog.items():
+                self.add(name, graph)
+
+    # -- registration --------------------------------------------------------
+    def add(self, name: str, graph: CSRGraph, *,
+            overwrite: bool = False) -> GraphVersion:
+        """Register ``graph`` under ``name`` at version 0."""
+        if not name:
+            raise ConfigError("a stored graph needs a non-empty name")
+        if name in self._chains and not overwrite:
+            raise ConfigError(
+                f"graph {name!r} is already stored; pass overwrite=True to "
+                "restart its history")
+        version = GraphVersion(name, 0)
+        record = VersionRecord(version=version, graph=graph,
+                               digest=graph_digest(graph))
+        self._chains[name] = [record]
+        self._staged.pop(name, None)
+        return version
+
+    # -- introspection -------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._chains
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def names(self) -> list[str]:
+        return sorted(self._chains)
+
+    def _chain(self, name: str) -> list[VersionRecord]:
+        try:
+            return self._chains[name]
+        except KeyError:
+            raise ConfigError(
+                f"graph {name!r} is not in the store "
+                f"({', '.join(self.names()) or 'empty'})") from None
+
+    def version(self, name: str) -> GraphVersion:
+        """The latest version of ``name``."""
+        return self._chain(name)[-1].version
+
+    def graph(self, name: str, version: int | None = None) -> CSRGraph:
+        """A snapshot: the latest one, or any retained ``version``."""
+        return self.record(name, version).graph
+
+    def record(self, name: str, version: int | None = None) -> VersionRecord:
+        """The chain link at ``version`` (default: latest).
+
+        Pruned snapshots are gone for good: only the retained window
+        ``[first kept, latest]`` resolves.
+        """
+        chain = self._chain(name)
+        if version is None:
+            return chain[-1]
+        first = chain[0].version.version
+        idx = version - first
+        if not (0 <= idx < len(chain)):
+            raise ConfigError(
+                f"graph {name!r} retains versions {first}.."
+                f"{chain[-1].version.version}, not {version}")
+        return chain[idx]
+
+    def history(self, name: str) -> Iterator[VersionRecord]:
+        """The delta chain, oldest first."""
+        return iter(tuple(self._chain(name)))
+
+    def digest(self, name: str, version: int | None = None) -> str:
+        """The chained history digest at ``version`` (default: latest).
+
+        ``sha1`` folded left-to-right over every snapshot's bytes, so two
+        stores agreeing on this value agree on the graph's entire
+        version-by-version history, not just its current bytes.
+        """
+        return self.record(name, version).digest
+
+    def digests(self) -> dict[str, str]:
+        """Latest history digest per stored graph."""
+        return {name: self._chains[name][-1].digest for name in self._chains}
+
+    # -- updates -------------------------------------------------------------
+    def apply(self, name: str, batch: UpdateBatch, *,
+              strict: bool = False, coalesced: int = 0) -> StoreUpdate:
+        """Commit one batch: advance ``name`` by exactly one version.
+
+        The batch is applied to the latest snapshot through the vectorized
+        CSR merge; the resulting :class:`StoreUpdate` carries everything a
+        resident cluster needs to resync.  A batch that changes nothing
+        (all ops skipped under ``strict=False``) still advances the
+        version — the history records that the write happened.
+        """
+        chain = self._chain(name)
+        head = chain[-1]
+        res = apply_delta(head.graph, batch, strict=strict)
+        version = GraphVersion(name, head.version.version + 1)
+        h = hashlib.sha1()
+        h.update(head.digest.encode())
+        h.update(b"|")
+        h.update(graph_digest(res.graph).encode())
+        record = VersionRecord(version=version, graph=res.graph,
+                               digest=h.hexdigest(), batch=batch, delta=res)
+        chain.append(record)
+        return StoreUpdate(version=version, delta=res, digest=record.digest,
+                           coalesced=coalesced)
+
+    # -- staging (coalescing) ------------------------------------------------
+    def stage(self, name: str, inserts=None, deletes=None) -> int:
+        """Queue edge operations for ``name`` without committing a version.
+
+        Consecutive stagings accumulate in one
+        :class:`~repro.dynamic.delta.DeltaBuffer` with last-writer-wins
+        semantics; :meth:`commit` flushes them as a *single* batch — one
+        version advance, one resync, however many stagings were folded.
+        Returns the number of op-groups now pending.
+        """
+        graph = self.graph(name)
+        buffer, pending = self._staged.get(
+            name, (DeltaBuffer(graph.n, graph.directed), 0))
+        if inserts is not None:
+            buffer.insert_edges(inserts)
+        if deletes is not None:
+            buffer.delete_edges(deletes)
+        pending += 1
+        self._staged[name] = (buffer, pending)
+        return pending
+
+    def pending(self, name: str) -> int:
+        """Op-groups staged for ``name`` and not yet committed."""
+        return self._staged.get(name, (None, 0))[1]
+
+    def commit(self, name: str, *, strict: bool = False
+               ) -> StoreUpdate | None:
+        """Flush ``name``'s staged operations as one coalesced batch.
+
+        Returns ``None`` when nothing is staged.  ``coalesced`` on the
+        returned update counts the op-groups beyond the first that rode
+        along in this flush.
+        """
+        staged = self._staged.pop(name, None)
+        if staged is None:
+            return None
+        buffer, pending = staged
+        return self.apply(name, buffer.freeze(), strict=strict,
+                          coalesced=max(0, pending - 1))
+
+    # -- maintenance ---------------------------------------------------------
+    def prune(self, name: str, keep: int = 1) -> int:
+        """Drop the oldest snapshots, keeping the last ``keep`` records.
+
+        Version numbers (and the chained digest) are preserved — only the
+        retained window of snapshot objects shrinks.  Returns how many
+        records were dropped.
+        """
+        if keep < 1:
+            raise ConfigError(f"must keep >= 1 record, got {keep}")
+        chain = self._chain(name)
+        drop = max(0, len(chain) - keep)
+        if drop:
+            del chain[:drop]
+        return drop
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(str(self._chains[n][-1].version)
+                          for n in self.names())
+        return f"GraphStore({parts})"

@@ -49,6 +49,7 @@ from repro.serve.scheduler import (
     CacheAffinityScheduler,
     FIFOScheduler,
     Scheduler,
+    coalescible_updates,
     eligible_requests,
     make_scheduler,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "UpdateRequest",
     "WorkloadSpec",
     "arrival_order",
+    "coalescible_updates",
     "default_catalog",
     "eligible_requests",
     "generate_workload",

@@ -15,19 +15,28 @@ A query's life: it arrives (workload timestamp), waits queued until the
 scheduler picks it, acquires its resident session from the pool (building
 or evicting if needed), runs with ``keep_cache=True``, and retires with
 ``latency = finish - arrival`` on the simulated clock.  Answers are
-digested (SHA-1 over the result arrays) so scheduler runs can be checked
-for bit-identical per-query results.
+digested (SHA-1 over the result arrays, prefixed with the graph version
+the query observed) so scheduler runs can be checked for bit-identical
+per-query results *and* identical version observations.
 
-**Updates** flow through the same loop but are accounted separately: an
-:class:`~repro.serve.request.UpdateRequest` applies its edge batch to the
-key's resident session (``Session.apply_updates`` — slice resync plus
-targeted CLaMPI invalidation), pins the post-update graph on the pool so
-eviction cannot roll a key back, and retires with the update's simulated
-cost.  The queue is pre-filtered through the per-key update fences
-(:func:`~repro.serve.scheduler.eligible_requests`) before any scheduler
-pick, and update digests cover the resulting graph bytes — so the
-identical-answers check now also proves every scheduler serialized each
-key's reads and writes the same way.
+**Updates** are writes against the
+:class:`~repro.graphstore.store.GraphStore`, not against any one
+session: an :class:`~repro.serve.request.UpdateRequest` commits its edge
+batch to the store — advancing the graph's single
+:class:`~repro.graphstore.store.GraphVersion` — and the resulting delta
+is propagated to **every** resident session of that graph (any variant),
+each resyncing surgically (touched 1D slices, touched 2D blocks,
+targeted CLaMPI invalidation + rekeying).  Consecutive queued updates
+for one graph are **coalesced**: each still commits its own version (so
+the history is scheduler-independent), but the expensive resident resync
+runs once, on the merged delta of a single
+:class:`~repro.dynamic.delta.DeltaBuffer` flush — pinned equal to
+sequential application.  The queue is pre-filtered through the per-graph
+update fences (:func:`~repro.serve.scheduler.eligible_requests`) before
+any scheduler pick, and update digests are the store's *chained* history
+digests — so the identical-answers check proves every scheduler
+serialized each graph's reads and writes, and its version history, the
+same way.
 """
 
 from __future__ import annotations
@@ -40,11 +49,17 @@ from typing import Any
 import numpy as np
 
 from repro.core.config import CacheSpec, LCCConfig
-from repro.dynamic.delta import UpdateBatch
+from repro.dynamic.delta import DeltaBuffer, UpdateBatch, apply_delta
 from repro.graph.csr import CSRGraph
+from repro.graphstore.store import GraphStore, graph_digest
 from repro.serve.pool import SessionPool
-from repro.serve.request import QueryRequest, arrival_order
-from repro.serve.scheduler import FIFOScheduler, Scheduler, eligible_requests
+from repro.serve.request import QueryRequest, UpdateRequest, arrival_order
+from repro.serve.scheduler import (
+    FIFOScheduler,
+    Scheduler,
+    coalescible_updates,
+    eligible_requests,
+)
 from repro.utils.errors import ConfigError
 
 
@@ -90,7 +105,8 @@ class QueryRecord:
     warm_cache: bool      # served against carried-over CLaMPI contents
     built_session: bool   # paid a cold partition (pool miss)
     adj_hit_rate: float | None
-    digest: str           # SHA-1 over the answer arrays
+    digest: str           # SHA-1 over (observed graph version, answers)
+    version: int = 0      # store version of the graph this query observed
 
     @property
     def latency(self) -> float:
@@ -100,7 +116,14 @@ class QueryRecord:
 
 @dataclass
 class UpdateRecord:
-    """One applied update batch, on both clocks."""
+    """One committed update batch, on both clocks.
+
+    When several queued updates for one graph were coalesced into a
+    single resident resync, every member still gets its own record (and
+    its own store version/digest); the shared resync cost is charged to
+    the group head (``service_s``), the riders retire at the same finish
+    with ``service_s == 0`` and ``coalesced=True``.
+    """
 
     qid: int
     tenant: int
@@ -110,13 +133,16 @@ class UpdateRecord:
     finish: float
     service_s: float      # simulated cost of resync + invalidation
     wall_s: float
-    built_session: bool   # the update had to build its session first
     n_inserted: int
     n_deleted: int
     n_affected: int       # vertices whose results may have changed
     invalidated_entries: int
     retained_entries: int
-    digest: str           # SHA-1 over the post-update graph bytes
+    rekeyed_entries: int
+    digest: str           # the store's chained history digest at `version`
+    version: int = 0      # store version this commit advanced the graph to
+    sessions_synced: int = 0  # resident sessions the commit propagated to
+    coalesced: bool = False   # rode along in another update's flush
 
     @property
     def latency(self) -> float:
@@ -133,13 +159,14 @@ class ServeOutcome:
     wall_clock_s: float
     aggregates: dict = field(default_factory=dict)
     update_records: list[UpdateRecord] = field(default_factory=list)
+    graph_versions: dict = field(default_factory=dict)  # name -> (v, digest)
 
     def digests(self) -> dict[int, str]:
-        """qid -> answer/graph digest (scheduler-order independent).
+        """qid -> answer/history digest (scheduler-order independent).
 
-        Covers queries *and* updates: equal dicts prove both that every
-        query returned the same bits and that every key went through the
-        same graph-version history.
+        Covers queries *and* updates: equal dicts prove that every query
+        returned the same bits while observing the same graph version,
+        and that every graph went through the same version history.
         """
         d = {r.qid: r.digest for r in self.records}
         d.update({r.qid: r.digest for r in self.update_records})
@@ -147,12 +174,15 @@ class ServeOutcome:
 
 
 def answers_identical(a: ServeOutcome, b: ServeOutcome) -> bool:
-    """Did two serving runs produce bit-identical per-query answers?"""
-    return a.digests() == b.digests()
+    """Did two serving runs produce bit-identical per-query answers —
+    and leave every graph with the same final version history?"""
+    return (a.digests() == b.digests()
+            and a.graph_versions == b.graph_versions)
 
 
-def _digest(result: Any) -> str:
+def _digest(result: Any, version: int) -> str:
     h = hashlib.sha1()
+    h.update(f"v{version}|".encode())
     h.update(str(int(result.global_triangles)).encode())
     for arr in (result.lcc, result.triangles_per_vertex):
         h.update(b"|")
@@ -161,21 +191,15 @@ def _digest(result: Any) -> str:
     return h.hexdigest()
 
 
-def _graph_digest(graph: CSRGraph) -> str:
-    h = hashlib.sha1()
-    h.update(np.ascontiguousarray(graph.offsets).tobytes())
-    h.update(b"|")
-    h.update(np.ascontiguousarray(graph.adjacency).tobytes())
-    return h.hexdigest()
-
-
 def summarize(records: list[QueryRecord], pool_stats: dict,
               wall_clock_s: float,
-              update_records: list[UpdateRecord] = ()) -> dict[str, Any]:
+              update_records: list[UpdateRecord] = (),
+              updates_coalesced: int = 0) -> dict[str, Any]:
     """Aggregate one serving run into the report row the benches commit."""
     if not records and not update_records:
         raise ConfigError("cannot summarize an empty serving run")
-    update_aggs: dict[str, Any] = {"n_updates": len(update_records)}
+    update_aggs: dict[str, Any] = {"n_updates": len(update_records),
+                                   "updates_coalesced": updates_coalesced}
     if update_records:
         ulat = np.array([u.latency for u in update_records])
         update_aggs.update({
@@ -187,6 +211,8 @@ def summarize(records: list[QueryRecord], pool_stats: dict,
             "edges_deleted": int(sum(u.n_deleted for u in update_records)),
             "invalidated_entries": int(
                 sum(u.invalidated_entries for u in update_records)),
+            "rekeyed_entries": int(
+                sum(u.rekeyed_entries for u in update_records)),
             "retained_entries_mean": float(np.mean(
                 [u.retained_entries for u in update_records])),
         })
@@ -237,12 +263,70 @@ class ServingEngine:
         self.config = config or ServeConfig()
         self.scheduler = scheduler or FIFOScheduler()
 
+    def _commit_updates(self, store: GraphStore, pool: SessionPool,
+                        group: list[UpdateRequest]
+                        ) -> tuple[list, Any, float]:
+        """Commit a coalesced run of updates for one graph.
+
+        Every member advances the store by its own version (the history
+        is per-request, hence scheduler-independent), but the resident
+        resync runs once: the group's operations merge through a single
+        :class:`~repro.dynamic.delta.DeltaBuffer` flush whose last-
+        writer-wins result is pinned equal to the sequential chain, and
+        that one merged delta propagates to every resident session of
+        the graph.  Returns ``(store updates, combined outcome fields,
+        simulated service seconds)``.
+        """
+        name = group[0].graph
+        pre_graph = store.graph(name)
+        updates = []
+        for req in group:
+            batch = UpdateBatch.build(req.inserts, req.deletes,
+                                      n=pre_graph.n,
+                                      directed=pre_graph.directed)
+            updates.append(store.apply(name, batch,
+                                       coalesced=len(group) - 1))
+        final = store.graph(name)
+        if len(group) == 1:
+            combined = updates[0].delta
+        else:
+            buffer = DeltaBuffer(pre_graph.n, pre_graph.directed)
+            for req in group:
+                if req.inserts is not None:
+                    buffer.insert_edges(req.inserts)
+                if req.deletes is not None:
+                    buffer.delete_edges(req.deletes)
+            combined = apply_delta(pre_graph, buffer.freeze(), strict=False)
+            if graph_digest(combined.graph) != graph_digest(final):
+                # Coalesced == sequential is a structural invariant (the
+                # property suite pins it); serving stale resident slices
+                # would be silent corruption, so fail loudly.
+                raise ConfigError(
+                    f"coalesced flush for {name!r} diverged from the "
+                    "sequential version chain")
+            # Resync resident state to the chain's own head snapshot so
+            # sessions and store share one graph object.
+            combined.graph = final
+        outcomes = [session.sync_to(combined)
+                    for _, session in pool.sessions_of(name)]
+        service = max((o.time for o in outcomes), default=0.0)
+        fields = {
+            "n_affected": int(combined.affected.shape[0]),
+            "invalidated_entries": sum(o.invalidated_entries
+                                       for o in outcomes),
+            "retained_entries": sum(o.retained_entries for o in outcomes),
+            "rekeyed_entries": sum(o.rekeyed_entries for o in outcomes),
+            "sessions_synced": len(outcomes),
+        }
+        return updates, fields, service
+
     def serve(self, requests: list[QueryRequest]) -> ServeOutcome:
         """Serve every request; returns records + aggregates.
 
-        The pool is fresh per call (a serving run is self-contained), the
-        scheduler is reset, and the loop is fully deterministic for a
-        deterministic workload — wall-clock fields aside.
+        The graph store and pool are fresh per call (a serving run is
+        self-contained), the scheduler is reset, and the loop is fully
+        deterministic for a deterministic workload — wall-clock fields
+        aside.
         """
         if not requests:
             raise ConfigError("cannot serve an empty workload")
@@ -250,12 +334,14 @@ class ServingEngine:
         scheduler.reset()
         records: list[QueryRecord] = []
         update_records: list[UpdateRecord] = []
+        updates_coalesced = 0
         pending = sorted(requests, key=arrival_order)
         queue: list = []
         clock = 0.0
         last_key = None
         t_run = time.perf_counter()
-        with SessionPool(self.catalog, config.session_config,
+        store = GraphStore(self.catalog)
+        with SessionPool(store, config.session_config,
                          capacity=config.pool_capacity,
                          policy=config.pool_policy) as pool:
             while pending or queue:
@@ -263,36 +349,45 @@ class ServingEngine:
                     clock = max(clock, pending[0].arrival)
                 while pending and pending[0].arrival <= clock:
                     queue.append(pending.pop(0))
-                # Per-key update fences are enforced here, before any
-                # policy runs: no scheduler can reorder a key's reads
+                # Per-graph update fences are enforced here, before any
+                # policy runs: no scheduler can reorder a graph's reads
                 # around its writes.
                 req = scheduler.pick(eligible_requests(queue), last_key, pool)
-                queue.remove(req)
                 t0 = time.perf_counter()
-                session, built = pool.acquire(req.session_key)
                 if req.is_update:
-                    batch = UpdateBatch.build(
-                        req.inserts, req.deletes, n=session.graph.n,
-                        directed=session.graph.directed)
-                    upd = session.apply_updates(batch)
-                    pool.pin_graph(req.session_key, session.graph)
+                    group = [req] + coalescible_updates(queue, req)
+                    for member in group:
+                        queue.remove(member)
+                    updates_coalesced += len(group) - 1
+                    updates, fields, service = self._commit_updates(
+                        store, pool, group)
                     wall = time.perf_counter() - t0
-                    service = float(upd.time)
                     start = max(clock, req.arrival)
                     finish = start + service
                     clock = finish
                     last_key = req.session_key
-                    update_records.append(UpdateRecord(
-                        qid=req.qid, tenant=req.tenant, graph=req.graph,
-                        arrival=req.arrival, start=start, finish=finish,
-                        service_s=service, wall_s=wall, built_session=built,
-                        n_inserted=upd.delta.n_inserted,
-                        n_deleted=upd.delta.n_deleted,
-                        n_affected=int(upd.affected.shape[0]),
-                        invalidated_entries=upd.invalidated_entries,
-                        retained_entries=upd.retained_entries,
-                        digest=_graph_digest(session.graph)))
+                    for i, (r, u) in enumerate(zip(group, updates)):
+                        head = i == 0
+                        update_records.append(UpdateRecord(
+                            qid=r.qid, tenant=r.tenant, graph=r.graph,
+                            arrival=r.arrival, start=start, finish=finish,
+                            service_s=service if head else 0.0,
+                            wall_s=wall if head else 0.0,
+                            n_inserted=u.delta.n_inserted,
+                            n_deleted=u.delta.n_deleted,
+                            version=u.version.version,
+                            digest=u.digest,
+                            coalesced=not head,
+                            **(fields if head else {
+                                "n_affected": int(u.delta.affected.shape[0]),
+                                "invalidated_entries": 0,
+                                "retained_entries": 0,
+                                "rekeyed_entries": 0,
+                                "sessions_synced": 0,
+                            })))
                     continue
+                queue.remove(req)
+                session, built = pool.acquire(req.session_key)
                 result = session.run(req.kernel, keep_cache=True)
                 wall = time.perf_counter() - t0
                 service = float(result.time)
@@ -301,6 +396,7 @@ class ServingEngine:
                 clock = finish
                 last_key = req.session_key
                 stats = result.adj_cache_stats
+                version = store.version(req.graph).version
                 records.append(QueryRecord(
                     qid=req.qid, tenant=req.tenant, graph=req.graph,
                     kernel=req.kernel, arrival=req.arrival, start=start,
@@ -308,14 +404,19 @@ class ServingEngine:
                     warm_cache=result.warm_cache, built_session=built,
                     adj_hit_rate=(None if stats is None
                                   else float(stats["hit_rate"])),
-                    digest=_digest(result)))
+                    version=version,
+                    digest=_digest(result, version)))
             pool_stats = pool.stats.as_dict()
         wall_clock = time.perf_counter() - t_run
         records.sort(key=lambda r: r.qid)
         update_records.sort(key=lambda r: r.qid)
-        outcome = ServeOutcome(scheduler=scheduler.name, records=records,
-                               pool_stats=pool_stats, wall_clock_s=wall_clock,
-                               update_records=update_records)
+        outcome = ServeOutcome(
+            scheduler=scheduler.name, records=records,
+            pool_stats=pool_stats, wall_clock_s=wall_clock,
+            update_records=update_records,
+            graph_versions={name: (store.version(name).version,
+                                   store.digest(name))
+                            for name in store.names()})
         outcome.aggregates = summarize(records, pool_stats, wall_clock,
-                                       update_records)
+                                       update_records, updates_coalesced)
         return outcome

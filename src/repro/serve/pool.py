@@ -8,15 +8,23 @@ one first — ``lru`` (least recently served) or ``lfu`` (least queries
 served, ties broken LRU).  Eviction closes the session, so its warm cache
 contents are genuinely gone: re-acquiring the key pays the cold cost
 again.  That is the contention the cache-affinity scheduler manages.
+
+Graph state lives **outside** the pool, in a
+:class:`~repro.graphstore.store.GraphStore`: sessions are built from the
+store's latest snapshot of their graph, and committed updates advance
+the store's version — so a key's graph history is a property of the
+workload, never of pool-eviction luck, and every variant of one graph
+resolves to the same versioned truth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.core.config import LCCConfig
 from repro.graph.csr import CSRGraph
+from repro.graphstore.store import GraphStore
 from repro.serve.request import SessionKey
 from repro.session import Session
 from repro.utils.errors import ConfigError
@@ -51,12 +59,15 @@ class _Entry:
 class SessionPool:
     """At most ``capacity`` resident sessions, keyed by ``SessionKey``.
 
-    ``config_for`` maps ``(graph, overrides_dict)`` to the
-    :class:`~repro.core.config.LCCConfig` the session is built with — the
-    serving engine injects rank count and cache sizing there.
+    ``catalog`` may be a plain ``{name: CSRGraph}`` mapping (wrapped into
+    a fresh :class:`~repro.graphstore.store.GraphStore` at version 0) or
+    an existing store to share.  ``config_for`` maps ``(graph,
+    overrides_dict)`` to the :class:`~repro.core.config.LCCConfig` the
+    session is built with — the serving engine injects rank count and
+    cache sizing there.
     """
 
-    def __init__(self, catalog: dict[str, CSRGraph],
+    def __init__(self, catalog: "Mapping[str, CSRGraph] | GraphStore",
                  config_for: Callable[[CSRGraph, dict], LCCConfig],
                  capacity: int = 4, policy: str = "lru"):
         if capacity < 1:
@@ -64,13 +75,13 @@ class SessionPool:
         if policy not in POOL_POLICIES:
             raise ConfigError(f"unknown pool policy {policy!r}; "
                               f"expected one of {POOL_POLICIES}")
-        self.catalog = catalog
+        self.store = (catalog if isinstance(catalog, GraphStore)
+                      else GraphStore(catalog))
         self.config_for = config_for
         self.capacity = capacity
         self.policy = policy
         self.stats = PoolStats()
         self._entries: dict[SessionKey, _Entry] = {}
-        self._graphs: dict[SessionKey, CSRGraph] = {}  # post-update versions
         self._clock = 0  # logical use counter for LRU recency
 
     # -- introspection -------------------------------------------------------
@@ -85,28 +96,23 @@ class SessionPool:
         return sorted(self._entries, key=lambda k: self._entries[k].last_used)
 
     # -- dynamic graph state -------------------------------------------------
-    def pin_graph(self, key: SessionKey, graph: CSRGraph) -> None:
-        """Record a key's post-update graph version.
-
-        Update batches mutate a *session*; eviction closes sessions.  The
-        pinned graph is what a future rebuild of the key starts from, so
-        the key's graph history is a property of the workload, not of
-        pool-eviction luck — a prerequisite for scheduler-independent
-        answers.
-        """
-        self._graphs[key] = graph
-
     def graph_for(self, key: SessionKey) -> CSRGraph:
-        """The key's current graph: pinned post-update version or catalog."""
-        if key in self._graphs:
-            return self._graphs[key]
+        """The key's current graph: the store's latest version."""
         graph_name = key[0]
-        try:
-            return self.catalog[graph_name]
-        except KeyError:
+        if graph_name not in self.store:
             raise ConfigError(
                 f"graph {graph_name!r} is not in the serving catalog "
-                f"({', '.join(sorted(self.catalog))})") from None
+                f"({', '.join(self.store.names())})")
+        return self.store.graph(graph_name)
+
+    def sessions_of(self, graph_name: str) -> list[tuple[SessionKey, Session]]:
+        """Every resident ``(key, session)`` serving ``graph_name``.
+
+        The propagation set of a store commit: an update to the graph
+        must reach all of these, whatever their config variant.
+        """
+        return [(key, entry.session) for key, entry in self._entries.items()
+                if key[0] == graph_name]
 
     # -- the one mutating operation -----------------------------------------
     def acquire(self, key: SessionKey) -> tuple[Session, bool]:

@@ -17,13 +17,18 @@ the session-pool churn, and therefore latency and throughput.
   cold partition + compulsory-miss pass over a run of warm queries and
   keeps hot sessions from being evicted by one-off tail keys.
 
-With update traffic in the mix, an update is a **barrier for its session
-key** (:func:`eligible_requests`): requests on the key that arrived
-before it must drain first, requests after it must wait — so every query
-observes the graph version its arrival order dictates, regardless of the
-scheduling policy, and answers stay scheduler-independent.  The engine
-pre-filters the queue through this fence before any ``pick``, making the
-guarantee structural rather than per-policy.
+With update traffic in the mix, an update is a **barrier for its graph**
+(:func:`eligible_requests`): requests on the graph — *any* variant's
+session key, since a committed update advances the graph's single
+:class:`~repro.graphstore.store.GraphVersion` for all of them — that
+arrived before it must drain first, requests after it must wait.  So
+every query observes the graph version its arrival order dictates,
+regardless of the scheduling policy, and answers stay
+scheduler-independent.  The engine pre-filters the queue through this
+fence before any ``pick``, making the guarantee structural rather than
+per-policy; and when several updates for one graph sit queued
+back-to-back, :func:`coalescible_updates` names the ones the engine may
+fold into a single store flush.
 """
 
 from __future__ import annotations
@@ -34,18 +39,20 @@ from repro.utils.errors import ConfigError
 
 
 def eligible_requests(queued: list) -> list:
-    """The subset of queued requests the per-key update fences allow.
+    """The subset of queued requests the per-graph update fences allow.
 
-    Per session key, requests are admitted in arrival order up to (and
-    including) the first queued update; an update itself is admitted only
-    as its key's earliest queued request.  Each key's earliest request is
+    Per **graph** — not per session key: an update advances the graph's
+    one store version, visible to every variant's resident session —
+    requests are admitted in arrival order up to (and excluding) the
+    first queued update; an update itself is admitted only as its
+    graph's earliest queued request.  Each graph's earliest request is
     always admitted, so the result is never empty for a non-empty queue.
     """
-    by_key: dict[SessionKey, list] = {}
+    by_graph: dict[str, list] = {}
     for req in queued:
-        by_key.setdefault(req.session_key, []).append(req)
+        by_graph.setdefault(req.graph, []).append(req)
     out = []
-    for reqs in by_key.values():
+    for reqs in by_graph.values():
         reqs.sort(key=arrival_order)
         for i, req in enumerate(reqs):
             if req.is_update:
@@ -53,6 +60,27 @@ def eligible_requests(queued: list) -> list:
                     out.append(req)
                 break
             out.append(req)
+    return out
+
+
+def coalescible_updates(queued: list, head) -> list:
+    """Queued updates that may merge into ``head``'s store flush.
+
+    ``head`` must be an update the fence just admitted (its graph's
+    earliest queued request).  The mergeable set is the run of *updates*
+    directly following it in the graph's arrival order: the run stops at
+    the first queued query, whose answer must observe only the versions
+    committed before it arrived.  Order within the run is arrival order,
+    so last-writer-wins coalescing equals sequential application.
+    """
+    run = sorted((r for r in queued if r.graph == head.graph),
+                 key=arrival_order)
+    assert run and run[0] is head, "head must lead its graph's queue"
+    out = []
+    for req in run[1:]:
+        if not req.is_update:
+            break
+        out.append(req)
     return out
 
 

@@ -139,6 +139,20 @@ class WorkloadSpec:
         """The same workload with popularity skew removed (the contrast)."""
         return replace(self, tenant_skew=0.0, graph_skew=0.0)
 
+    def delete_heavy(self, delete_fraction: float = 0.8) -> "WorkloadSpec":
+        """A deletion-dominated variant: sustained shrinkage traffic.
+
+        ``delete_fraction`` must be >= 0.75 (the scenario exists to
+        stress tombstone-style churn — degrees collapsing below the
+        min-degree preprocessing threshold, offsets sliding left rank by
+        rank — not to be a mild remix of the insert-dominated default).
+        """
+        if delete_fraction < 0.75:
+            raise ConfigError(
+                "a delete-heavy workload deletes >= 75% of each batch, "
+                f"got {delete_fraction}")
+        return replace(self, update_delete_fraction=delete_fraction)
+
 
 def generate_workload(spec: WorkloadSpec,
                       catalog: dict[str, CSRGraph] | None = None

@@ -44,25 +44,23 @@ over so the second query onward benefits from the paper's reuse effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
 from repro.baselines.disttc import DistTCConfig, run_disttc
 from repro.baselines.mapreduce import MapReduceConfig, run_mapreduce_tc
 from repro.baselines.tric import TricConfig, run_tric
-from repro.clampi.stats import CacheStats
-from repro.core.config import CacheSpec, DistributedRunResult, LCCConfig
-from repro.core.lcc import attach_caches, execute_lcc, make_partition
+from repro.core.config import DistributedRunResult, LCCConfig
+from repro.core.lcc import execute_lcc
 from repro.dynamic.delta import DeltaResult, UpdateBatch, apply_delta
-from repro.dynamic.invalidate import resync_distributed
 from repro.core.lcc_fast import run_distributed_lcc_fast
 from repro.core.tc import execute_tc, require_undirected
-from repro.core.tc2d import run_distributed_tc_2d
 from repro.graph.csr import CSRGraph
 from repro.graph.distributed import DistributedCSR
+from repro.graphstore.grid2d import GridCluster2D
+from repro.graphstore.resident import Cluster1D, ClusterResync, ResidentCluster
 from repro.runtime.engine import Engine
-from repro.runtime.trace import RankTrace
-from repro.utils.errors import KernelError
+from repro.utils.errors import ConfigError, KernelError
 
 __all__ = [
     "KernelResult",
@@ -85,10 +83,11 @@ __all__ = [
 class KernelSpec:
     """One registered kernel: a name, a runner and its traits.
 
-    ``resident`` kernels execute on the session's resident 1D cluster
-    (engine + partitioned CSR + caches); the others own their run's
-    cluster shape (2D grids, TriC's edge-balanced split, ...) and build it
-    per call, exactly like their legacy entry points.
+    ``resident`` kernels execute on one of the session's resident
+    clusters — the 1D partition (``lcc``/``tc``) or the 2D grid
+    (``tc2d``) — built once and reused across queries; the others own
+    their run's cluster shape (TriC's edge-balanced split, ...) and
+    build it per call, exactly like their legacy entry points.
     """
 
     name: str
@@ -180,24 +179,31 @@ class KernelResult:
 
 @dataclass
 class UpdateOutcome:
-    """What one :meth:`Session.apply_updates` call did.
+    """What one :meth:`Session.apply_updates` / :meth:`Session.sync_to` did.
 
     ``delta`` carries the graph-level outcome (new graph, affected set,
     applied/skipped edge counts); the remaining fields describe the
-    resident-cluster resync: which ranks' slices were rebuilt, how many
-    warm CLaMPI entries were invalidated vs retained, and the simulated
-    cost (``time``) of the whole update — slice rebuild plus invalidation
-    priced at the caches' eviction overhead, max over ranks like any job.
+    resident-cluster resyncs, summed over every resident cluster of the
+    session (the 1D partition and, when ``tc2d`` ran, the 2D grid):
+    which ranks' slices / grid blocks were rebuilt, how many warm CLaMPI
+    entries were invalidated vs rekeyed vs retained, and the simulated
+    cost (``time``) of the whole update — slice rebuild plus cache
+    maintenance priced at the caches' eviction overhead, max over ranks
+    and clusters like any job.
     """
 
     delta: DeltaResult
     touched_ranks: tuple[int, ...] = ()
+    touched_blocks: tuple[tuple[int, int], ...] = ()
     rebuilt_bytes: int = 0
     invalidated_offsets_entries: int = 0
     invalidated_adj_entries: int = 0
     invalidated_bytes: int = 0
+    rekeyed_entries: int = 0
+    rekeyed_bytes: int = 0
     retained_entries: int = 0
     time: float = 0.0
+    resyncs: list[ClusterResync] = field(default_factory=list)
 
     @property
     def graph(self):
@@ -210,6 +216,24 @@ class UpdateOutcome:
     @property
     def invalidated_entries(self) -> int:
         return self.invalidated_offsets_entries + self.invalidated_adj_entries
+
+    def fold(self, resync: ClusterResync) -> None:
+        """Accumulate one resident cluster's resync into this outcome."""
+        self.resyncs.append(resync)
+        if resync.kind == "2d":
+            self.touched_blocks += tuple(resync.touched)
+        else:
+            self.touched_ranks += tuple(resync.touched)
+        self.rebuilt_bytes += resync.rebuilt_bytes
+        self.invalidated_offsets_entries += resync.invalidated_offsets_entries
+        self.invalidated_adj_entries += resync.invalidated_adj_entries
+        self.invalidated_bytes += resync.invalidated_bytes
+        self.rekeyed_entries += resync.rekeyed_entries
+        self.rekeyed_bytes += resync.rekeyed_bytes
+        self.retained_entries += resync.retained_entries
+        # Clusters are independent simulated resources; like ranks within
+        # one job, the update completes when the slowest resync does.
+        self.time = max(self.time, resync.time)
 
 
 # ---------------------------------------------------------------------------
@@ -237,15 +261,10 @@ class Session:
     def __init__(self, graph: CSRGraph, config: LCCConfig | None = None):
         self.graph = graph
         self.config = config or LCCConfig()
-        self.partition_builds = 0
         self.queries_run = 0
         self.updates_applied = 0
-        self._engine: Optional[Engine] = None
-        self._dist: Optional[DistributedCSR] = None
-        self._cluster_key: Any = None
-        self._off_caches: list = []
-        self._adj_caches: list = []
-        self._cache_spec: Optional[CacheSpec] = None
+        self._c1d: Optional[Cluster1D] = None
+        self._c2d: Optional[GridCluster2D] = None
         self._last_reused = False
         self._last_warm = False
         self._closed = False
@@ -258,14 +277,43 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Tear down the resident cluster (idempotent)."""
-        if self._dist is not None:
-            self._dist.close_epochs()
-        self._drop_caches()
-        self._engine = None
-        self._dist = None
-        self._cluster_key = None
+        """Tear down every resident cluster (idempotent)."""
+        for cluster in self.clusters():
+            cluster.close()
         self._closed = True
+
+    # -- resident-cluster inventory ------------------------------------------
+    def clusters(self) -> list[ResidentCluster]:
+        """Every resident cluster this session has materialized."""
+        return [c for c in (self._c1d, self._c2d) if c is not None]
+
+    @property
+    def partition_builds(self) -> int:
+        """How often the 1D CSR was split (sweeps assert this stays at 1)."""
+        return self._c1d.partition_builds if self._c1d is not None else 0
+
+    @property
+    def grid_builds(self) -> int:
+        """How often the 2D grid blocks were built from scratch."""
+        return self._c2d.grid_builds if self._c2d is not None else 0
+
+    # Backwards-compatible views of the 1D cluster internals (tests and
+    # downstream code predating the graphstore extraction read these).
+    @property
+    def _engine(self) -> Optional[Engine]:
+        return self._c1d._engine if self._c1d is not None else None
+
+    @property
+    def _dist(self) -> Optional[DistributedCSR]:
+        return self._c1d._dist if self._c1d is not None else None
+
+    @property
+    def _off_caches(self) -> list:
+        return self._c1d._off_caches if self._c1d is not None else []
+
+    @property
+    def _adj_caches(self) -> list:
+        return self._c1d._adj_caches if self._c1d is not None else []
 
     # -- queries ------------------------------------------------------------
     def run(self, kernel: str, *, config: LCCConfig | None = None,
@@ -316,15 +364,17 @@ class Session:
         return results
 
     # -- updates -------------------------------------------------------------
-    def apply_updates(self, batch: UpdateBatch, *,
-                      strict: bool = False) -> UpdateOutcome:
+    def apply_updates(self, batch: UpdateBatch, *, strict: bool = False,
+                      rekey: bool = True) -> UpdateOutcome:
         """Apply an edge-update batch to the resident graph.
 
-        The session's graph is replaced by the post-update CSR; if a
-        cluster is resident, only the ranks owning a changed vertex have
-        their window slices rebuilt, and the per-rank CLaMPI caches are
-        invalidated **targeted**: exactly the entries whose cached bytes
-        the update made stale are evicted, so a following
+        The session's graph is replaced by the post-update CSR; every
+        resident cluster (the 1D partition and, when ``tc2d`` has run,
+        the 2D grid) has only its touched slices / blocks rebuilt, and
+        the per-rank CLaMPI caches are maintained **targeted**: entries
+        whose cached bytes the update made stale are evicted, entries
+        whose adjacency list merely shifted are rekeyed to their new
+        offsets (``rekey=False`` disables the remap), so a following
         ``run(..., keep_cache=True)`` stays warm for everything else.
         Any open epochs are closed first (an update is an epoch boundary,
         so transparent-mode caches flush as they would on a real window).
@@ -336,56 +386,33 @@ class Session:
         if self._closed:
             raise KernelError("session is closed")
         res = apply_delta(self.graph, batch, strict=strict)
+        return self.sync_to(res, rekey=rekey)
+
+    def sync_to(self, res: DeltaResult, *, rekey: bool = True
+                ) -> UpdateOutcome:
+        """Fold an already-applied delta into this session.
+
+        The propagation half of :meth:`apply_updates`, split out so a
+        :class:`~repro.graphstore.store.GraphStore` commit — one version
+        advance for the graph — can be pushed into *every* resident
+        session of that graph without re-running the CSR merge per
+        session.  ``res.graph`` becomes the session's graph and each
+        resident cluster resyncs surgically.
+        """
+        if self._closed:
+            raise KernelError("session is closed")
         self.graph = res.graph
         self.updates_applied += 1
         outcome = UpdateOutcome(delta=res)
-        if self._dist is None or not res.changed:
-            if self._dist is not None:
-                # Nothing changed structurally; keep windows and memos.
-                self._dist.graph = res.graph
-            outcome.retained_entries = sum(
-                len(c) for c in self._off_caches + self._adj_caches)
-            return outcome
-
-        dist, engine = self._dist, self._engine
-        dist.close_epochs()
-        plan = resync_distributed(dist, res.graph, res.endpoints)
-        dist.rebind_graph(res.graph)
-        outcome.touched_ranks = plan.touched_ranks
-        outcome.rebuilt_bytes = plan.rebuilt_bytes
-
-        inval_dt = [0.0] * engine.nranks
-        for caches, keys, counter in (
-                (self._off_caches, plan.offsets_keys,
-                 "invalidated_offsets_entries"),
-                (self._adj_caches, plan.adjacency_keys,
-                 "invalidated_adj_entries")):
-            for cache in caches:
-                mgmt_before = cache.stats.mgmt_time
-                dropped, dropped_bytes = cache.invalidate(keys)
-                # The cache prices its own invalidations (mgmt_time);
-                # charge exactly that, whatever its cost model is.
-                inval_dt[cache.rank] += cache.stats.mgmt_time - mgmt_before
-                setattr(outcome, counter, getattr(outcome, counter) + dropped)
-                outcome.invalidated_bytes += dropped_bytes
-        outcome.retained_entries = sum(
-            len(c) for c in self._off_caches + self._adj_caches)
-
-        # Price the rebuild with the model the resident cluster was
-        # actually built under (a per-run override config may differ
-        # from the session default).
-        memory = engine.contexts[0].memory
-        rebuilt = plan.rebuilt_bytes_by_rank
-        outcome.time = max(
-            ((memory.local_read_time(rebuilt[r]) if r in rebuilt else 0.0)
-             + inval_dt[r]) for r in range(engine.nranks))
+        for cluster in self.clusters():
+            outcome.fold(cluster.resync(res, rekey=rekey))
         return outcome
 
-    # -- resident cluster ----------------------------------------------------
+    # -- resident clusters ---------------------------------------------------
     def resident_cluster(self, config: LCCConfig | None = None,
                          keep_cache: bool = False, need_epochs: bool = True
                          ) -> tuple[Engine, DistributedCSR, list, list]:
-        """Build or reuse the engine + partitioned CSR for ``config``.
+        """Build or reuse the 1D engine + partitioned CSR for ``config``.
 
         Returns ``(engine, dist, offsets_caches, adj_caches)``.  This is
         the hook custom resident kernels use: per-rank clocks and traces
@@ -396,67 +423,41 @@ class Session:
         ``need_epochs=False``; kernels that issue RMA should call
         ``dist.close_epochs()`` when done, as the built-ins do.
         """
-        config = config or self.config
-        key = (config.nranks, config.partition, config.network,
-               config.memory, config.compute, config.record_ops)
-        rebuilt = self._engine is None or key != self._cluster_key
-        if rebuilt:
-            if self._dist is not None:
-                self._dist.close_epochs()
-            self._drop_caches()
-            engine = Engine(config.nranks, network=config.network,
-                            memory=config.memory, compute=config.compute,
-                            record_ops=config.record_ops)
-            self._dist = DistributedCSR(
-                self.graph, make_partition(config, self.graph.n), engine)
-            self._engine = engine
-            self._cluster_key = key
-            self.partition_builds += 1
-        engine, dist = self._engine, self._dist
-        for ctx in engine.contexts:
-            ctx.now = 0.0
-            ctx.trace = RankTrace(rank=ctx.rank, record_ops=config.record_ops)
-        if need_epochs:
-            # execute_lcc/execute_tc close epochs after each query.
-            for rank in range(engine.nranks):
-                for win in (dist.w_offsets, dist.w_adj):
-                    if not win.epoch_open(rank):
-                        win.lock_all(rank)
-        self._configure_caches(config, keep_cache, rebuilt)
-        self._last_reused = not rebuilt
-        return engine, dist, self._off_caches, self._adj_caches
+        if self._c1d is None:
+            self._c1d = Cluster1D()
+        cluster = self._c1d
+        out = cluster.acquire(self.graph, config or self.config,
+                              keep_cache=keep_cache, need_epochs=need_epochs)
+        self._last_reused = cluster.last_reused
+        self._last_warm = cluster.last_warm
+        return out
 
-    def _configure_caches(self, config: LCCConfig, keep_cache: bool,
-                          rebuilt: bool) -> None:
-        spec = config.cache
-        if spec is None:
-            self._drop_caches()
-            return
-        warm = (keep_cache and not rebuilt and spec == self._cache_spec
-                and bool(self._off_caches or self._adj_caches))
-        if warm:
-            # Contents stay resident; statistics are per-query.
-            for cache in self._off_caches + self._adj_caches:
-                cache.stats = CacheStats()
-        else:
-            self._drop_caches()
-            self._off_caches, self._adj_caches = attach_caches(
-                self._engine, self._dist, spec, self.graph.n)
-        self._cache_spec = spec
-        self._last_warm = warm
+    def resident_grid(self, config: LCCConfig | None = None,
+                      keep_cache: bool = False):
+        """Build or reuse the resident 2D grid cluster for ``config``.
 
-    def _drop_caches(self) -> None:
-        if self._engine is not None and self._dist is not None:
-            for ctx in self._engine.contexts:
-                ctx.detach_cache(self._dist.w_offsets)
-                ctx.detach_cache(self._dist.w_adj)
-        self._off_caches = []
-        self._adj_caches = []
-        self._cache_spec = None
+        Returns ``(engine, grid, blocks, window, caches)`` — the
+        :class:`~repro.graphstore.grid2d.GridCluster2D` acquisition the
+        ``tc2d`` kernel runs on.  The grid blocks are built once and kept
+        resident across queries (``grid_builds`` stays at 1 while the
+        cluster shape is unchanged), which is what deletes the per-call
+        edge re-split the legacy path pays.
+        """
+        if self.graph.directed:
+            raise ConfigError(
+                "2D triangle counting expects an undirected graph")
+        if self._c2d is None:
+            self._c2d = GridCluster2D()
+        cluster = self._c2d
+        out = cluster.acquire(self.graph, config or self.config,
+                              keep_cache=keep_cache)
+        self._last_reused = cluster.last_reused
+        self._last_warm = cluster.last_warm
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "closed" if self._closed else (
-            "resident" if self._engine is not None else "idle")
+            "resident" if self.clusters() else "idle")
         return (f"Session(graph={self.graph.name or '?'}, {state}, "
                 f"queries={self.queries_run}, "
                 f"partition_builds={self.partition_builds})")
@@ -494,11 +495,12 @@ def _kernel_tc(session: Session, config: LCCConfig, *,
     return execute_tc(engine, dist, config, off, adj)
 
 
-@register_kernel("tc2d", undirected_only=True,
+@register_kernel("tc2d", resident=True, undirected_only=True,
                  description="asynchronous 2D-grid triangle count")
 def _kernel_tc2d(session: Session, config: LCCConfig, *,
                  keep_cache: bool = False, **_: Any) -> DistributedRunResult:
-    return run_distributed_tc_2d(session.graph, config)
+    session.resident_grid(config, keep_cache)
+    return session._c2d.execute(config)
 
 
 @register_kernel("tric",

@@ -1,0 +1,138 @@
+"""The graph-store bench report and its regression gates."""
+
+import copy
+
+import pytest
+
+from repro.analysis.store import (
+    MIN_WARM_SPEEDUP,
+    STORE_REPORT_KEYS,
+    check_store_against_baseline,
+    check_store_report,
+    one_off_store_run,
+    run_store_bench,
+    write_store_report,
+)
+from repro.graph.generators import powerlaw_configuration
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_store_bench(quick=True)
+
+
+class TestQuickRun:
+    def test_schema_and_gates(self, quick_report):
+        for key in STORE_REPORT_KEYS:
+            assert key in quick_report
+        assert check_store_report(quick_report) == []
+
+    def test_tc2d_rows(self, quick_report):
+        assert quick_report["tc2d"]
+        for row in quick_report["tc2d"].values():
+            assert row["bit_identical"] is True
+            assert row["warm_speedup"] >= MIN_WARM_SPEEDUP
+            assert row["grid_builds"] == 1
+
+    def test_versions_row(self, quick_report):
+        ver = quick_report["versions"]
+        assert ver["results_identical"] is True
+        assert ver["version_histories_identical"] is True
+        assert ver["n_updates"] > 0
+        assert set(ver["schedulers"]) == {"fifo", "affinity"}
+        # Versions advanced: some graph must be past v0.
+        assert any(v > 0 for v in ver["final_versions"].values())
+
+    def test_delete_heavy_rows(self, quick_report):
+        dh = quick_report["delete_heavy"]
+        assert dh["serving"]["results_identical"] is True
+        for gname, row in dh.items():
+            if gname == "serving":
+                continue
+            assert row["bit_identical"] is True
+            assert row["edges_after"] < row["edges_before"]
+            assert row["delete_fraction"] >= 0.75
+
+    def test_write_round_trip(self, quick_report, tmp_path):
+        from repro.analysis.benchreport import load_report
+
+        path = tmp_path / "store.json"
+        write_store_report(quick_report, str(path))
+        loaded = load_report(str(path))
+        assert set(loaded) >= set(STORE_REPORT_KEYS)
+        for gname, row in quick_report["tc2d"].items():
+            assert loaded["tc2d"][gname]["warm_speedup"] == pytest.approx(
+                row["warm_speedup"])
+            assert loaded["tc2d"][gname]["bit_identical"] is True
+
+    def test_passes_against_committed_baseline(self, quick_report):
+        problems = check_store_against_baseline(quick_report, quick_report)
+        assert problems == []
+
+
+class TestGates:
+    def test_bit_identity_is_non_negotiable(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        gname = next(iter(bad["tc2d"]))
+        bad["tc2d"][gname]["bit_identical"] = False
+        assert any("differ" in p for p in check_store_report(bad))
+
+    def test_warm_speedup_floor(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        gname = next(iter(bad["tc2d"]))
+        bad["tc2d"][gname]["warm_speedup"] = 1.5
+        assert any("below the 2.0x floor" in p for p in
+                   check_store_report(bad))
+
+    def test_grid_must_build_once(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        gname = next(iter(bad["tc2d"]))
+        bad["tc2d"][gname]["grid_builds"] = 3
+        assert any("must build once" in p for p in check_store_report(bad))
+
+    def test_version_history_independence_required(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["versions"]["version_histories_identical"] = False
+        assert any("version histories" in p for p in check_store_report(bad))
+
+    def test_delete_heavy_parity_required(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        for gname, row in bad["delete_heavy"].items():
+            if gname != "serving":
+                row["bit_identical"] = False
+                break
+        assert any("shrinkage" in p for p in check_store_report(bad))
+
+    def test_baseline_relative_speedup(self, quick_report):
+        inflated = copy.deepcopy(quick_report)
+        for row in inflated["tc2d"].values():
+            row["warm_speedup"] = row["warm_speedup"] * 1000
+        problems = check_store_against_baseline(quick_report, inflated)
+        assert any("fell below" in p for p in problems)
+
+    def test_missing_baseline_section_flagged(self, quick_report):
+        problems = check_store_against_baseline(quick_report, {"tc2d": {}})
+        assert any("baseline has no tc2d" in p for p in problems)
+
+    def test_bad_tolerance_rejected(self, quick_report):
+        with pytest.raises(ValueError):
+            check_store_against_baseline(quick_report, quick_report,
+                                         tolerance=0.0)
+
+    def test_write_refuses_failing_report(self, quick_report, tmp_path):
+        bad = copy.deepcopy(quick_report)
+        bad["versions"]["results_identical"] = False
+        with pytest.raises(ValueError):
+            write_store_report(bad, str(tmp_path / "bad.json"))
+        write_store_report(bad, str(tmp_path / "ungated.json"), gate=False)
+
+
+class TestOneOff:
+    def test_one_off_run_fields(self):
+        g = powerlaw_configuration(160, 900, seed=6, name="oneoff")
+        payload = one_off_store_run(g, nranks=9, n_edges=10, seed=1)
+        assert payload["post_update_matches_rebuild"] is True
+        assert payload["warm_matches_cold"] is True
+        assert payload["version"] == "oneoff@v1"
+        assert payload["touched_blocks"] >= 0
+        assert payload["warm_speedup"] > 1.0

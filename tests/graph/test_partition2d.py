@@ -84,3 +84,45 @@ class TestCommunicationScope:
     def test_2d_peer_formula(self):
         assert communication_peers_2d(16) == 6  # 4 + 4 - 2
         assert communication_peers_2d(64) == 14
+
+
+class TestVectorizedValidation:
+    """owners_of_edges / split_edges_2d reject bad arrays wholesale,
+    mirroring CSRGraph.from_edges (the scalar per-vertex loop is gone)."""
+
+    def test_out_of_range_edge_array_rejected(self):
+        grid = GridPartition2D(64, 8)
+        with pytest.raises(PartitionError, match="out of range"):
+            grid.owners_of_edges(np.array([[0, 64]]))
+        with pytest.raises(PartitionError, match="negative"):
+            grid.owners_of_edges(np.array([[-1, 3]]))
+
+    def test_non_integer_edges_rejected(self):
+        grid = GridPartition2D(64, 8)
+        with pytest.raises(PartitionError, match="integer"):
+            grid.owners_of_edges(np.array([[0.5, 3.0]]))
+
+    def test_malformed_shape_rejected(self):
+        grid = GridPartition2D(64, 8)
+        with pytest.raises(PartitionError, match=r"\(m, 2\)"):
+            grid.owners_of_edges(np.arange(6))
+
+    def test_split_edges_2d_validates_supplied_arrays(self):
+        g = rmat(6, 6, seed=3)
+        grid = GridPartition2D(g.n, 9)
+        with pytest.raises(PartitionError, match="out of range"):
+            split_edges_2d(g, grid, edges=np.array([[0, g.n + 5]]))
+        # The graph's own edges always pass.
+        parts = split_edges_2d(g, grid, edges=g.edges())
+        assert sum(p.shape[0] for p in parts) == g.num_adjacency_entries
+
+    def test_empty_edge_array_ok(self):
+        grid = GridPartition2D(64, 8)
+        assert grid.owners_of_edges(
+            np.empty((0, 2), dtype=np.int64)).shape == (0,)
+
+    def test_int32_wrap_guard_on_n(self):
+        from repro.utils.errors import GraphFormatError
+
+        with pytest.raises((PartitionError, GraphFormatError)):
+            GridPartition2D(2**31 + 1, 4)

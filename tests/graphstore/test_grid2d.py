@@ -1,0 +1,191 @@
+"""GridCluster2D: resident tc2d parity, 2D block resync, block caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CacheSpec, LCCConfig
+from repro.core.tc2d import (
+    build_block,
+    build_grid_blocks,
+    pack_block,
+    run_distributed_tc_2d,
+)
+from repro.dynamic import apply_delta, random_update_batch, UpdateBatch
+from repro.graph.generators import powerlaw_configuration
+from repro.graph.partition2d import GridPartition2D
+from repro.graphstore import GridCluster2D, stale_block_keys, touched_blocks
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_configuration(200, 1200, seed=9, name="g2d")
+
+
+def square_cfg(**kw):
+    return LCCConfig(nranks=9, threads=4, **kw)
+
+
+def rect_cfg(**kw):
+    return LCCConfig(nranks=8, threads=4, **kw)
+
+
+class TestBlockBuild:
+    @pytest.mark.parametrize("nranks", [4, 8, 9])
+    def test_build_block_matches_full_split(self, graph, nranks):
+        grid = GridPartition2D(graph.n, nranks)
+        full = build_grid_blocks(graph, grid)
+        for rank in range(nranks):
+            single = build_block(graph, grid, rank)
+            np.testing.assert_array_equal(
+                pack_block(single), pack_block(full[rank]))
+
+    def test_touched_blocks_covers_changed_edges(self, graph):
+        grid = GridPartition2D(graph.n, 9)
+        batch = random_update_batch(graph, 10, 0.5, seed=5)
+        res = apply_delta(graph, batch, strict=False)
+        ranks = touched_blocks(grid, res.changed_keys, graph.n)
+        expect = set()
+        for key in res.changed_keys:
+            u, v = int(key) // graph.n, int(key) % graph.n
+            expect.add(grid.owner_of_edge(u, v))
+        assert set(ranks) == expect
+
+    def test_stale_block_keys_positional(self):
+        old = np.array([3, 2, 0, 1, 2], dtype=np.int32)
+        assert stale_block_keys(4, old, old.copy()) == []
+        assert stale_block_keys(4, old, np.array([3, 2, 0, 1, 3],
+                                                 dtype=np.int32)) == [(4, 0, 5)]
+        assert stale_block_keys(4, old, old[:-1]) == [(4, 0, 5)]
+
+
+class TestResidentParity:
+    @pytest.mark.parametrize("cfg_fn", [square_cfg, rect_cfg],
+                             ids=["square-3x3", "rect-2x4"])
+    def test_warm_queries_bit_identical_to_rebuild(self, graph, cfg_fn):
+        cfg = cfg_fn()
+        legacy = run_distributed_tc_2d(graph, cfg)
+        with Session(graph, cfg) as session:
+            runs = [session.run("tc2d") for _ in range(3)]
+            assert session.grid_builds == 1
+        for r in runs:
+            assert int(r.global_triangles) == int(legacy.global_triangles)
+            assert r.outcome.clocks == legacy.outcome.clocks
+
+    def test_shape_change_rebuilds_grid(self, graph):
+        with Session(graph, square_cfg()) as session:
+            session.run("tc2d")
+            session.run("tc2d", nranks=4)
+            assert session.grid_builds == 2
+
+    def test_coexists_with_1d_cluster(self, graph):
+        with Session(graph, square_cfg()) as session:
+            lcc = session.run("lcc")
+            tc2d = session.run("tc2d")
+            again = session.run("lcc")
+            assert session.partition_builds == 1
+            assert session.grid_builds == 1
+        np.testing.assert_array_equal(lcc.lcc, again.lcc)
+        assert int(tc2d.global_triangles) == int(lcc.global_triangles)
+
+
+class TestResync:
+    @pytest.mark.parametrize("cfg_fn", [square_cfg, rect_cfg],
+                             ids=["square-3x3", "rect-2x4"])
+    def test_post_update_matches_fresh_rebuild(self, graph, cfg_fn):
+        cfg = cfg_fn()
+        with Session(graph, cfg) as session:
+            session.run("tc2d")
+            for step in range(3):   # sustained updates, resync each time
+                batch = random_update_batch(session.graph, 12, 0.5,
+                                            seed=31 + step)
+                out = session.apply_updates(batch)
+                assert out.touched_blocks  # 2D cluster really resynced
+                post = session.run("tc2d")
+                ref = run_distributed_tc_2d(session.graph, cfg)
+                assert int(post.global_triangles) == int(ref.global_triangles)
+                assert post.outcome.clocks == ref.outcome.clocks
+
+    def test_resync_blocks_match_full_rebuild(self, graph):
+        cluster = GridCluster2D()
+        cfg = square_cfg()
+        cluster.acquire(graph, cfg)
+        batch = random_update_batch(graph, 16, 0.5, seed=77)
+        res = apply_delta(graph, batch, strict=False)
+        cluster.resync(res)
+        grid = GridPartition2D(res.graph.n, cfg.nranks)
+        fresh = build_grid_blocks(res.graph, grid)
+        for rank in range(cfg.nranks):
+            np.testing.assert_array_equal(
+                cluster._win.local_part(rank), pack_block(fresh[rank]))
+        cluster.close()
+
+    def test_unchanged_delta_touches_nothing(self, graph):
+        cluster = GridCluster2D()
+        cluster.acquire(graph, square_cfg())
+        noop = UpdateBatch.build(None, None, n=graph.n)
+        res = apply_delta(graph, noop, strict=False)
+        out = cluster.resync(res)
+        assert out.touched == () and out.rebuilt_bytes == 0
+        cluster.close()
+
+
+class TestBlockCaches:
+    def cached_cfg(self, graph):
+        return square_cfg(cache=CacheSpec(
+            offsets_bytes=max(1, graph.nbytes // 2), adj_bytes=graph.nbytes))
+
+    def test_warm_cached_queries_hit(self, graph):
+        cfg = self.cached_cfg(graph)
+        with Session(graph, cfg) as session:
+            session.run("tc2d", keep_cache=True)
+            caches = session._c2d.caches
+            assert caches and any(len(c) for c in caches)
+            warm = session.run("tc2d", keep_cache=True)
+            hits = sum(c.stats.hits for c in session._c2d.caches)
+            assert hits > 0
+            # Answers unaffected by caching.
+            ref = run_distributed_tc_2d(graph, square_cfg())
+            assert int(warm.global_triangles) == int(ref.global_triangles)
+
+    def test_update_invalidates_exactly_touched_blocks(self, graph):
+        cfg = self.cached_cfg(graph)
+        with Session(graph, cfg) as session:
+            session.run("tc2d", keep_cache=True)
+            session.run("tc2d", keep_cache=True)
+            before = sum(len(c) for c in session._c2d.caches)
+            batch = random_update_batch(session.graph, 6, 0.5, seed=13)
+            out = session.apply_updates(batch)
+            twod = [r for r in out.resyncs if r.kind == "2d"]
+            assert twod and twod[0].invalidated_adj_entries > 0
+            after = sum(len(c) for c in session._c2d.caches)
+            assert 0 < after < before  # untouched blocks stayed warm
+            post = session.run("tc2d", keep_cache=True)
+            ref = run_distributed_tc_2d(session.graph, square_cfg())
+            assert int(post.global_triangles) == int(ref.global_triangles)
+
+    def test_transparent_mode_flushes_per_query_epoch(self, graph):
+        """Each query is an epoch; paper Section II-F transparent caches
+        flush at its closure, so the next query cannot hit."""
+        from repro.clampi.cache import ConsistencyMode
+
+        cfg = square_cfg(cache=CacheSpec(
+            offsets_bytes=max(1, graph.nbytes // 2), adj_bytes=graph.nbytes,
+            mode=ConsistencyMode.TRANSPARENT))
+        with Session(graph, cfg) as session:
+            session.run("tc2d", keep_cache=True)
+            assert all(len(c) == 0 for c in session._c2d.caches)
+            warm = session.run("tc2d", keep_cache=True)
+            assert sum(c.stats.hits for c in session._c2d.caches) == 0
+            assert sum(c.stats.flushes for c in session._c2d.caches) > 0
+            ref = run_distributed_tc_2d(graph, square_cfg())
+            assert int(warm.global_triangles) == int(ref.global_triangles)
+
+    def test_memo_not_used_when_cached(self, graph):
+        cfg = self.cached_cfg(graph)
+        with Session(graph, cfg) as session:
+            a = session.run("tc2d", keep_cache=True)
+            b = session.run("tc2d", keep_cache=True)
+            # Warm cached run differs in *timing* (hits), not answers.
+            assert int(a.global_triangles) == int(b.global_triangles)
+            assert b.outcome.time < a.outcome.time

@@ -1,0 +1,172 @@
+"""GraphStore: version chains, digests, staging/coalescing, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import UpdateBatch, apply_delta
+from repro.graph.generators import erdos_renyi, powerlaw_configuration
+from repro.graphstore import GraphStore, GraphVersion, graph_digest
+from repro.utils.errors import ConfigError, GraphFormatError
+
+
+@pytest.fixture()
+def graph():
+    return powerlaw_configuration(120, 600, seed=3, name="g")
+
+
+@pytest.fixture()
+def store(graph):
+    return GraphStore({"g": graph})
+
+
+def batch_for(graph, inserts=None, deletes=None):
+    return UpdateBatch.build(inserts, deletes, n=graph.n,
+                             directed=graph.directed)
+
+
+class TestRegistration:
+    def test_catalog_registers_at_v0(self, store, graph):
+        assert "g" in store and len(store) == 1
+        assert store.version("g") == GraphVersion("g", 0)
+        assert store.graph("g") is graph
+        assert store.digest("g") == graph_digest(graph)
+
+    def test_unknown_graph_raises(self, store):
+        with pytest.raises(ConfigError, match="not in the store"):
+            store.graph("nope")
+        with pytest.raises(ConfigError, match="not in the store"):
+            store.version("nope")
+
+    def test_duplicate_add_needs_overwrite(self, store, graph):
+        with pytest.raises(ConfigError, match="already stored"):
+            store.add("g", graph)
+        v = store.add("g", graph, overwrite=True)
+        assert v.version == 0
+
+    def test_empty_name_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            GraphStore().add("", graph)
+
+
+class TestVersionChain:
+    def test_apply_advances_exactly_one_version(self, store, graph):
+        upd = store.apply("g", batch_for(graph, inserts=[(0, 5)]))
+        assert upd.version == GraphVersion("g", 1)
+        assert store.version("g").version == 1
+        assert str(upd.version) == "g@v1"
+
+    def test_snapshots_retained_and_immutable(self, store, graph):
+        store.apply("g", batch_for(graph, inserts=[(0, 5)]))
+        assert store.graph("g", 0) is graph
+        assert store.graph("g", 1) is store.graph("g")
+        assert store.graph("g", 1) is not graph
+        history = list(store.history("g"))
+        assert [r.version.version for r in history] == [0, 1]
+        assert history[1].batch is not None and history[1].delta is not None
+
+    def test_chain_digest_covers_history_not_just_bytes(self, store, graph):
+        """Two stores with equal final bytes but different histories must
+        disagree — the digest proves the *path*, not the endpoint."""
+        a = store
+        a.apply("g", batch_for(graph, inserts=[(0, 5)]))
+        a.apply("g", batch_for(a.graph("g"), deletes=[(0, 5)]))
+        b = GraphStore({"g": graph})
+        b.apply("g", batch_for(graph, inserts=[(1, 7)]))
+        b.apply("g", batch_for(b.graph("g"), deletes=[(1, 7)]))
+        # Same final bytes (both net to the original graph) ...
+        assert graph_digest(a.graph("g")) == graph_digest(b.graph("g"))
+        # ... different histories.
+        assert a.digest("g") != b.digest("g")
+
+    def test_equal_histories_equal_digests(self, store, graph):
+        other = GraphStore({"g": graph})
+        for s in (store, other):
+            s.apply("g", batch_for(graph, inserts=[(2, 9), (0, 5)]))
+        assert store.digest("g") == other.digest("g")
+        assert store.digests() == other.digests()
+
+    def test_noop_batch_still_advances(self, store, graph):
+        """History records that the write happened, even if it skipped."""
+        upd = store.apply("g", batch_for(graph, deletes=None, inserts=None))
+        assert upd.version.version == 1
+        assert not upd.changed
+
+    def test_mismatched_batch_rejected(self, store):
+        bad = UpdateBatch.build([(0, 1)], n=7, directed=False)
+        with pytest.raises(GraphFormatError):
+            store.apply("g", bad)
+
+    def test_version_out_of_range(self, store):
+        with pytest.raises(ConfigError, match="retains versions 0..0"):
+            store.graph("g", 5)
+
+
+class TestStagingCoalescing:
+    def test_commit_flushes_as_one_version(self, store, graph):
+        assert store.stage("g", inserts=[(0, 5)]) == 1
+        assert store.stage("g", inserts=[(2, 9)]) == 2
+        assert store.stage("g", deletes=[(0, 5)]) == 3
+        assert store.pending("g") == 3
+        upd = store.commit("g")
+        assert upd.version.version == 1       # one flush, one version
+        assert upd.coalesced == 2             # two op-groups rode along
+        assert store.pending("g") == 0
+
+    def test_last_writer_wins_equals_sequential(self, store, graph):
+        """The satellite's parity contract: a coalesced flush produces the
+        same graph as applying the same op-groups one by one."""
+        ops = [({"inserts": [(0, 5)]}), ({"deletes": [(0, 5)]}),
+               ({"inserts": [(0, 5), (3, 11)]})]
+        seq = GraphStore({"g": graph})
+        for op in ops:
+            seq.apply("g", batch_for(seq.graph("g"), **op))
+        for op in ops:
+            store.stage("g", **op)
+        upd = store.commit("g")
+        assert graph_digest(upd.graph) == graph_digest(seq.graph("g"))
+
+    def test_commit_nothing_staged(self, store):
+        assert store.commit("g") is None
+
+    def test_stage_validates_eagerly(self, store):
+        with pytest.raises(GraphFormatError):
+            store.stage("g", inserts=[(0, 10**6)])
+
+
+class TestPrune:
+    def test_prune_keeps_versions_and_digest(self, store, graph):
+        for i in range(3):
+            store.apply("g", batch_for(store.graph("g"),
+                                       inserts=[(0, 5 + i)]))
+        digest = store.digest("g")
+        dropped = store.prune("g", keep=1)
+        assert dropped == 3
+        assert store.version("g").version == 3
+        assert store.digest("g") == digest
+        with pytest.raises(ConfigError):
+            store.graph("g", 0)   # old snapshot gone
+
+    def test_prune_validates(self, store):
+        with pytest.raises(ConfigError):
+            store.prune("g", keep=0)
+
+
+class TestDeltaConsistency:
+    def test_store_apply_matches_apply_delta(self, graph):
+        store = GraphStore({"g": graph})
+        batch = batch_for(graph, inserts=[(0, 7), (1, 8)], deletes=None)
+        upd = store.apply("g", batch)
+        ref = apply_delta(graph, batch, strict=False)
+        assert graph_digest(upd.graph) == graph_digest(ref.graph)
+        np.testing.assert_array_equal(upd.delta.affected, ref.affected)
+        np.testing.assert_array_equal(upd.delta.changed_keys,
+                                      ref.changed_keys)
+
+    def test_multiple_graphs_independent(self):
+        g1 = erdos_renyi(60, 200, seed=1, name="a")
+        g2 = erdos_renyi(60, 200, seed=2, name="b")
+        store = GraphStore({"a": g1, "b": g2})
+        store.apply("a", batch_for(g1, inserts=[(0, 5)]))
+        assert store.version("a").version == 1
+        assert store.version("b").version == 0
+        assert store.names() == ["a", "b"]

@@ -84,3 +84,12 @@ def test_dynamic_updates(capsys):
     assert "incremental fold exact: True" in out
     assert "retained" in out
     assert "incremental state recomputed" in out
+
+
+def test_graph_versions(capsys):
+    run_example("graph_versions.py")
+    out = capsys.readouterr().out
+    assert "@v3" in out
+    assert "rekeyed" in out
+    assert "blocks" in out
+    assert "replica replay: digests agree" in out

@@ -354,6 +354,87 @@ class TestUpdate:
         assert "dynamic check FAILED" in capsys.readouterr().err
 
 
+class TestStore:
+    def test_one_off_store_json(self, capsys):
+        assert main(["store", "skitter", "--scale", "0.2", "--nranks", "9",
+                     "--edges", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"].endswith("@v1")
+        assert payload["post_update_matches_rebuild"] is True
+        assert payload["warm_matches_cold"] is True
+        assert payload["warm_speedup"] > 1.0
+
+    def test_store_bench_writes_gated_report(self, tmp_path, capsys):
+        from repro.analysis.store import STORE_REPORT_KEYS, check_store_report
+
+        out_file = tmp_path / "BENCH_store.json"
+        assert main(["store", "--quick", "--bench", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        for key in STORE_REPORT_KEYS:
+            assert key in report
+        assert check_store_report(report) == []
+        out = capsys.readouterr().out
+        assert "resident tc2d" in out
+        assert "histories identical: True" in out
+
+    def test_store_bench_check_against_committed_baseline(self, tmp_path,
+                                                          capsys):
+        out_file = tmp_path / "fresh.json"
+        assert main(["store", "--quick", "--bench", str(out_file),
+                     "--check", "BENCH_store.json"]) == 0
+        assert "store check OK" in capsys.readouterr().err
+
+    def test_store_bench_check_fails_on_regression(self, tmp_path, capsys,
+                                                   monkeypatch):
+        import repro.analysis.store as sto
+
+        canned = {
+            "schema_version": 1, "quick": True, "nranks": 9, "threads": 4,
+            "graphs": {},
+            "tc2d": {"g": {
+                "rebuild_warm_wall_s": 1.0, "resident_warm_wall_s": 0.4,
+                "warm_speedup": 2.5, "bit_identical": True,
+                "global_triangles": 1, "simulated_time_s": 0.0,
+                "grid_builds": 1, "nranks": 9}},
+            "versions": {"results_identical": True,
+                         "version_histories_identical": True,
+                         "n_requests": 4, "n_updates": 1, "update_mix": 0.3,
+                         "final_versions": {}, "schedulers": {
+                             "fifo": {"updates_coalesced": 0,
+                                      "rekeyed_entries": 0,
+                                      "warm_fraction": 0.5},
+                             "affinity": {"updates_coalesced": 0,
+                                          "rekeyed_entries": 0,
+                                          "warm_fraction": 0.5}}},
+            "delete_heavy": {"serving": {"results_identical": True},
+                             "g": {"rounds": 2, "delete_fraction": 0.8,
+                                   "edges_before": 10, "edges_after": 5,
+                                   "bit_identical": True,
+                                   "collapsed_below_min_degree": 0}},
+        }
+        monkeypatch.setattr(sto, "run_store_bench",
+                            lambda quick=False: canned)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"tc2d": {"g": {
+            "warm_speedup": 100.0}}}))
+        assert main(["store", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"),
+                     "--check", str(baseline)]) == 1
+        assert "store check FAILED" in capsys.readouterr().err
+
+    def test_store_bench_rejects_customization_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--edges"):
+            main(["store", "--bench", str(tmp_path / "x.json"), "--quick",
+                  "--edges", "50"])
+        with pytest.raises(SystemExit, match="dataset"):
+            main(["store", "skitter", "--bench", str(tmp_path / "x.json"),
+                  "--quick"])
+
+    def test_check_without_bench_rejected(self):
+        with pytest.raises(SystemExit, match="--bench"):
+            main(["store", "skitter", "--check", "BENCH_store.json"])
+
+
 class TestRound2Guards:
     def test_failed_bench_check_records_no_trajectory_row(self, tmp_path,
                                                           monkeypatch):
