@@ -39,10 +39,12 @@ incremental recompute and targeted cache invalidation);
 :mod:`repro.graphstore` (the versioned graph store and the resident 1D /
 2D clusters it feeds); :mod:`repro.serve` (multi-tenant query serving
 with cache-affinity scheduling over a bounded session pool, mixing reads
-with versioned graph updates).
+with versioned graph updates); :mod:`repro.shardstore` (partition-aligned
+shards with cross-shard commit barriers, consistent-hash routing and
+digest-verified read replicas over the store).
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro.dynamic import (  # noqa: E402
     DeltaBuffer,
@@ -55,6 +57,12 @@ from repro.graphstore import (  # noqa: E402
     GraphVersion,
     GridCluster2D,
     ResidentCluster,
+)
+from repro.shardstore import (  # noqa: E402
+    ReplicaSet,
+    ShardPlan,
+    ShardRouter,
+    ShardedGraphStore,
 )
 from repro.session import (  # noqa: E402
     KernelResult,
@@ -76,8 +84,12 @@ __all__ = [
     "IncrementalState",
     "KernelResult",
     "KernelSpec",
+    "ReplicaSet",
     "ResidentCluster",
     "Session",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedGraphStore",
     "UpdateBatch",
     "UpdateOutcome",
     "apply_delta",

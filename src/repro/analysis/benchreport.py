@@ -310,10 +310,21 @@ def append_trajectory(report: Mapping[str, Any],
     the trajectory is that every PR (and every CI smoke run on a fresh
     checkout) leaves its perf data point behind chronologically.
     """
+    return append_trajectory_row(trajectory_row(report, date=date), path)
+
+
+def append_trajectory_row(row: Mapping[str, Any],
+                          path: str = DEFAULT_TRAJECTORY_PATH
+                          ) -> dict[str, Any]:
+    """Append one already-condensed row to the trajectory file.
+
+    The shared tail of every subsystem's trajectory hook (`repro bench`,
+    `repro shard`): subsystems condense their own reports, this handles
+    the durable append.
+    """
     import os
     import tempfile
 
-    row = trajectory_row(report, date=date)
     try:
         with open(path) as fh:
             data = json.load(fh)

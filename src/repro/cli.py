@@ -201,12 +201,34 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _load_baseline(path: str) -> dict:
+    """Read a ``--check`` baseline, failing with a one-line error.
+
+    A missing or unparseable baseline is an operator mistake (wrong
+    path, corrupt checkout), not a bug — surface it as a clean nonzero
+    exit instead of a traceback.
+    """
+    import json
+
+    from repro.analysis.benchreport import load_report
+
+    try:
+        return load_report(path)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"--check baseline {path!r} does not exist; point it at a "
+            "committed report (e.g. BENCH_shard.json)") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"--check baseline {path!r} is not valid JSON ({exc}); "
+            "restore it from version control") from None
+
+
 def cmd_bench(args) -> int:
     from repro.analysis.benchreport import (
         DEFAULT_CHECK_TOLERANCE,
         append_trajectory,
         check_against_baseline,
-        load_report,
         run_bench,
         write_report,
     )
@@ -214,7 +236,7 @@ def cmd_bench(args) -> int:
     # Load the baseline up front: --json defaults to the committed baseline
     # path, so writing first would make --check compare the fresh report
     # against itself (and destroy the baseline before it was ever read).
-    baseline = load_report(args.check) if args.check else None
+    baseline = _load_baseline(args.check) if args.check else None
     report = run_bench(quick=args.quick)
     write_report(report, args.json)
     for name, row in report["kernels"].items():
@@ -264,7 +286,6 @@ UPDATE_DEFAULTS = {"nranks": 8, "threads": 4, "edges": 16,
 
 
 def cmd_update(args) -> int:
-    from repro.analysis.benchreport import load_report
     from repro.analysis.dynamic import (
         check_dynamic_against_baseline,
         one_off_update_run,
@@ -288,7 +309,7 @@ def cmd_update(args) -> int:
                 f"update --bench uses the pinned benchmark graphs/config; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = load_report(args.check) if args.check else None
+        baseline = _load_baseline(args.check) if args.check else None
         report = run_dynamic_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (and
         # re-checks every correctness clause); the absolute gate would
@@ -340,7 +361,6 @@ STORE_DEFAULTS = {"nranks": 9, "threads": 4, "edges": 16,
 
 
 def cmd_store(args) -> int:
-    from repro.analysis.benchreport import load_report
     from repro.analysis.store import (
         check_store_against_baseline,
         one_off_store_run,
@@ -362,7 +382,7 @@ def cmd_store(args) -> int:
                 f"store --bench uses the pinned benchmark graphs/config; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = load_report(args.check) if args.check else None
+        baseline = _load_baseline(args.check) if args.check else None
         report = run_store_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (it
         # re-checks every correctness clause and the 2x warm floor).
@@ -407,6 +427,111 @@ def cmd_store(args) -> int:
     payload = one_off_store_run(
         g, nranks=args.nranks, threads=args.threads, n_edges=args.edges,
         delete_fraction=args.delete_fraction, seed=args.seed)
+    _emit(args, payload)
+    return 0
+
+
+#: One-off defaults of ``repro shard`` (same drift guard as ``store``).
+SHARD_DEFAULTS = {"nranks": 8, "nshards": 4, "replicas": 3, "edges": 16,
+                  "delete_fraction": 0.25, "scale": 1.0, "seed": 0}
+
+
+def cmd_shard(args) -> int:
+    from repro.analysis.benchreport import append_trajectory_row
+    from repro.analysis.shard import (
+        check_shard_against_baseline,
+        one_off_shard_run,
+        run_shard_bench,
+        shard_trajectory_row,
+        write_shard_report,
+    )
+
+    if args.bench:
+        ignored = [flag for flag, is_default in (
+            ("a dataset", args.dataset is None and args.input is None),
+            ("--directed", not args.directed),
+            ("--json", not args.json),
+            *((f"--{name.replace('_', '-')}",
+               getattr(args, name) == default)
+              for name, default in SHARD_DEFAULTS.items()),
+        ) if not is_default]
+        if ignored:
+            raise SystemExit(
+                f"shard --bench uses the pinned benchmark graphs/config; "
+                f"{', '.join(ignored)} would be ignored — drop them (or run "
+                "without --bench for a one-off configurable run)")
+        baseline = _load_baseline(args.check) if args.check else None
+        report = run_shard_bench(quick=args.quick)
+        # With a baseline, the tolerance gate below owns the verdict (it
+        # re-checks every correctness clause and the read-scaling floor).
+        write_shard_report(report, args.bench, gate=baseline is None)
+        for gname, row in report["bit_identity"].items():
+            print(f"{gname:12s} sharded == unsharded: "
+                  f"heads {row['heads_identical']}  "
+                  f"kernels({row['kernels_checked']}) "
+                  f"{row['kernels_identical']}  "
+                  f"multi-shard commits {row['multi_shard_commits']}  "
+                  f"vector ok {row['version_vector_ok']}")
+        scaling = report["read_scaling"]
+        print(f"reads        {scaling['read_scaling']:.2f}x throughput at "
+              f"{scaling['replicas']} replicas "
+              f"({scaling['throughput_1_qps']:.0f} -> "
+              f"{scaling['throughput_n_qps']:.0f} q/s, answers identical: "
+              f"{scaling['digests_identical']})")
+        srv = report["updates"]["serving"]
+        print(f"serving      {srv['n_updates']} updates "
+              f"({srv['multi_shard_updates']} multi-shard) in "
+              f"{srv['n_requests']} requests  schedulers identical: "
+              f"{srv['results_identical']}  matches unsharded: "
+              f"{srv['matches_unsharded_queries']}")
+        for gname, row in report["updates"].items():
+            if gname == "serving":
+                continue
+            print(f"{gname:12s} cross-shard commit "
+                  f"{row['cross_to_single_latency']:.2f}x single-shard "
+                  f"({row['cross_shards_touched_mean']:.1f} shards touched)")
+        fo = report["failover"]
+        print(f"failover     killed {fo['killed_replica']} at qid "
+              f"{fo['kill_at_qid']}, rejoined at {fo['rejoin_at_qid']}: "
+              f"digests identical {fo['digests_identical']}, "
+              f"reseeds {fo['reseeds']}, converged "
+              f"{fo['rejoined_converged']}")
+        print(f"shard report written to {args.bench}", file=sys.stderr)
+        if baseline is not None:
+            problems = check_shard_against_baseline(report, baseline)
+            if problems:
+                for problem in problems:
+                    print(f"shard check: {problem}", file=sys.stderr)
+                print(f"shard check FAILED against baseline {args.check}",
+                      file=sys.stderr)
+                return 1
+            print(f"shard check OK against baseline {args.check}",
+                  file=sys.stderr)
+        # Trajectory rows only for gate-accepted runs (same contract as
+        # ``repro bench``): the committed history never accumulates
+        # rejected data points.
+        trajectory = args.trajectory
+        if trajectory is None:
+            import os
+
+            trajectory = os.path.join(os.path.dirname(args.bench) or ".",
+                                      "BENCH_trajectory.json")
+        if trajectory:
+            traj_row = append_trajectory_row(
+                shard_trajectory_row(report), trajectory)
+            print(f"trajectory row ({traj_row['date']}) appended to "
+                  f"{trajectory}", file=sys.stderr)
+        return 0
+
+    if args.check or args.quick:
+        raise SystemExit(
+            "--check/--quick only apply to the recorded benchmark; "
+            "add --bench PATH (or drop them for a one-off run)")
+    g = _load_graph(args)
+    payload = one_off_shard_run(
+        g, nshards=args.nshards, nranks=args.nranks, replicas=args.replicas,
+        n_edges=args.edges, delete_fraction=args.delete_fraction,
+        seed=args.seed)
     _emit(args, payload)
     return 0
 
@@ -623,6 +748,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "independence, the 2x warm-tc2d floor, or drops "
                         "below tolerance x this committed baseline")
     p.set_defaults(fn=cmd_store)
+
+    p = sub.add_parser(
+        "shard",
+        help="sharded store: partition-aligned shards, consistent-hash "
+             "routing, digest-verified read replicas")
+    add_graph_args(p)
+    p.add_argument("--nranks", type=int, default=SHARD_DEFAULTS["nranks"])
+    p.add_argument("--nshards", type=int, default=SHARD_DEFAULTS["nshards"],
+                   help="shards per graph (must evenly group --nranks)")
+    p.add_argument("--replicas", type=int, default=SHARD_DEFAULTS["replicas"],
+                   help="read replicas in the one-off convergence check")
+    p.add_argument("--edges", type=int, default=SHARD_DEFAULTS["edges"],
+                   help="edges per synthetic update batch")
+    p.add_argument("--delete-fraction", type=float,
+                   default=SHARD_DEFAULTS["delete_fraction"],
+                   help="fraction of the batch that deletes existing edges")
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="record the shardstore benchmark "
+                        "(BENCH_shard.json) instead of a one-off run")
+    p.add_argument("--quick", action="store_true",
+                   help="small --bench sizes (CI smoke run)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="regression gate: fail if the fresh --bench run "
+                        "loses sharded/unsharded bit-identity, the 1.5x "
+                        "read-scaling floor, version-vector consistency, "
+                        "or drops below tolerance x this committed baseline")
+    p.add_argument("--trajectory", default=None, metavar="PATH",
+                   help="append a dated summary row to this perf-trajectory "
+                        "file (default: BENCH_trajectory.json next to the "
+                        "--bench report)")
+    p.add_argument("--no-trajectory", dest="trajectory",
+                   action="store_const", const="",
+                   help="do not record a trajectory row")
+    p.set_defaults(fn=cmd_shard)
 
     p = sub.add_parser(
         "serve",

@@ -135,6 +135,34 @@ class GraphStore:
         self._staged.pop(name, None)
         return version
 
+    def seed(self, name: str, graph: CSRGraph, *, version: int,
+             digest: str, overwrite: bool = False) -> GraphVersion:
+        """Register ``graph`` mid-history, at a given version and digest.
+
+        The re-seeding path of the replica layer: a replica rebuilt from
+        a primary snapshot must **adopt** the primary's chained history
+        digest, or its chain could never converge with the primary's
+        again (the chain digest covers the whole path, and the replica no
+        longer has the path's snapshots).  The chain starts at
+        ``version`` — :meth:`record` already resolves chains whose first
+        retained version is non-zero, exactly as after :meth:`prune`.
+        """
+        if not name:
+            raise ConfigError("a stored graph needs a non-empty name")
+        if version < 0:
+            raise ConfigError(f"seed version must be >= 0, got {version}")
+        if not digest:
+            raise ConfigError("seed needs the chained history digest to adopt")
+        if name in self._chains and not overwrite:
+            raise ConfigError(
+                f"graph {name!r} is already stored; pass overwrite=True to "
+                "re-seed its history")
+        record = VersionRecord(version=GraphVersion(name, version),
+                               graph=graph, digest=digest)
+        self._chains[name] = [record]
+        self._staged.pop(name, None)
+        return record.version
+
     # -- introspection -------------------------------------------------------
     def __contains__(self, name: str) -> bool:
         return name in self._chains

@@ -258,10 +258,21 @@ class ServingEngine:
 
     def __init__(self, catalog: dict[str, CSRGraph],
                  config: ServeConfig | None = None,
-                 scheduler: Scheduler | None = None):
+                 scheduler: Scheduler | None = None,
+                 store_factory=None):
         self.catalog = catalog
         self.config = config or ServeConfig()
         self.scheduler = scheduler or FIFOScheduler()
+        #: ``catalog -> store``; defaults to a plain GraphStore.  A
+        #: sharded serving run passes e.g. ``lambda c:
+        #: ShardedGraphStore(c, nshards=4)`` — any store duck-typing the
+        #: GraphStore surface (graph/apply/version/digest/names) works.
+        self.store_factory = store_factory
+
+    def _make_store(self):
+        if self.store_factory is not None:
+            return self.store_factory(self.catalog)
+        return GraphStore(self.catalog)
 
     def _commit_updates(self, store: GraphStore, pool: SessionPool,
                         group: list[UpdateRequest]
@@ -340,7 +351,7 @@ class ServingEngine:
         clock = 0.0
         last_key = None
         t_run = time.perf_counter()
-        store = GraphStore(self.catalog)
+        store = self._make_store()
         with SessionPool(store, config.session_config,
                          capacity=config.pool_capacity,
                          policy=config.pool_policy) as pool:

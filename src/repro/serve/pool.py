@@ -69,14 +69,21 @@ class SessionPool:
 
     def __init__(self, catalog: "Mapping[str, CSRGraph] | GraphStore",
                  config_for: Callable[[CSRGraph, dict], LCCConfig],
-                 capacity: int = 4, policy: str = "lru"):
+                 capacity: int = 4, policy: str = "lru", router=None):
         if capacity < 1:
             raise ConfigError(f"pool capacity must be >= 1, got {capacity}")
         if policy not in POOL_POLICIES:
             raise ConfigError(f"unknown pool policy {policy!r}; "
                               f"expected one of {POOL_POLICIES}")
-        self.store = (catalog if isinstance(catalog, GraphStore)
-                      else GraphStore(catalog))
+        if isinstance(catalog, GraphStore):
+            self.store = catalog
+        elif callable(getattr(catalog, "graph", None)):
+            # Any store duck-typing the GraphStore read surface — e.g. a
+            # ShardedGraphStore — serves sessions the same way.
+            self.store = catalog
+        else:
+            self.store = GraphStore(catalog)
+        self.router = router
         self.config_for = config_for
         self.capacity = capacity
         self.policy = policy
@@ -96,14 +103,27 @@ class SessionPool:
         return sorted(self._entries, key=lambda k: self._entries[k].last_used)
 
     # -- dynamic graph state -------------------------------------------------
+    def store_of(self, key: SessionKey):
+        """The store serving ``key``: routed if a router is attached.
+
+        With a :class:`~repro.shardstore.router.ShardRouter`, the pool
+        resolves each session key to the replica store owning it on the
+        consistent-hash ring; without one, every key reads the pool's
+        own store.
+        """
+        if self.router is not None:
+            return self.router.store_for(key)
+        return self.store
+
     def graph_for(self, key: SessionKey) -> CSRGraph:
-        """The key's current graph: the store's latest version."""
+        """The key's current graph: its store's latest version."""
         graph_name = key[0]
-        if graph_name not in self.store:
+        store = self.store_of(key)
+        if graph_name not in store:
             raise ConfigError(
                 f"graph {graph_name!r} is not in the serving catalog "
-                f"({', '.join(self.store.names())})")
-        return self.store.graph(graph_name)
+                f"({', '.join(store.names())})")
+        return store.graph(graph_name)
 
     def sessions_of(self, graph_name: str) -> list[tuple[SessionKey, Session]]:
         """Every resident ``(key, session)`` serving ``graph_name``.
@@ -148,6 +168,20 @@ class SessionPool:
                          key=lambda k: self._entries[k].last_used)
         self._entries.pop(victim).session.close()
         self.stats.evictions += 1
+
+    def evict_where(self, predicate: Callable[[SessionKey], bool]) -> int:
+        """Force-close every resident session whose key matches.
+
+        The failover hook: killing a replica closes its resident
+        clusters, so the warm state is genuinely gone and a re-routed
+        key pays its cold build at the surviving store.  Returns how
+        many sessions were evicted (counted in :attr:`stats`).
+        """
+        victims = [key for key in self._entries if predicate(key)]
+        for key in victims:
+            self._entries.pop(key).session.close()
+            self.stats.evictions += 1
+        return len(victims)
 
     def close(self) -> None:
         """Close every resident session (idempotent)."""

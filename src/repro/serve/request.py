@@ -14,11 +14,18 @@ no later-arrived one may overtake it (see
 :func:`repro.serve.scheduler.eligible_requests`).  That per-key fencing
 is exactly what keeps per-query answers scheduler-independent once the
 workload mutates graphs.
+
+With a sharded store behind the pool, an update may additionally carry
+the **shard set** its batch touches (:attr:`UpdateRequest.shards`,
+stamped by :func:`repro.shardstore.sharded.annotate_shard_sets`): the
+fence then narrows from per-graph to per-(graph, shard-set), letting
+updates on disjoint shards of one graph flow past each other while
+queries — which read the whole graph — still conflict with every update.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.utils.errors import ConfigError
@@ -94,6 +101,10 @@ class UpdateRequest:
     overrides: tuple = field(compare=False, default=())
     inserts: Any = field(compare=False, default=None, repr=False)
     deletes: Any = field(compare=False, default=None, repr=False)
+    #: Shards this batch touches (``frozenset``), or ``None`` for the
+    #: conservative whole-graph fence.  Annotation, not identity: a
+    #: pure function of the batch content, stamped ahead of serving.
+    shards: Any = field(compare=False, default=None, repr=False)
 
     is_update = True
 
@@ -107,6 +118,15 @@ class UpdateRequest:
     def session_key(self) -> SessionKey:
         """The resident cluster this update mutates (and fences)."""
         return (self.graph, self.overrides)
+
+    def with_shards(self, shards) -> "UpdateRequest":
+        """A copy annotated with its touched-shard set.
+
+        An empty set stays ``None``: a batch that touches no shard still
+        commits a logical version, so it must keep the whole-graph fence
+        for query version observations to stay deterministic.
+        """
+        return replace(self, shards=frozenset(shards) if shards else None)
 
     def __lt__(self, other) -> bool:
         return arrival_order(self) < arrival_order(other)

@@ -38,15 +38,45 @@ from repro.serve.request import QueryRequest, SessionKey, arrival_order
 from repro.utils.errors import ConfigError
 
 
+def _shard_set(req):
+    """The shard set a request's fence covers; ``None`` = whole graph.
+
+    Queries have no ``shards`` attribute (a kernel reads the entire
+    graph), and an un-annotated or empty-set update conservatively
+    fences everything — both resolve to ``None``.
+    """
+    return getattr(req, "shards", None) or None
+
+
+def _conflicts(a, b) -> bool:
+    """Must ``a`` and ``b`` (same graph) serialize in arrival order?
+
+    Reads commute with reads; anything involving a write conflicts
+    unless both sides carry *disjoint* shard sets — the only case the
+    per-(graph, shard-set) fence lets overtake.
+    """
+    if not (a.is_update or b.is_update):
+        return False
+    sa, sb = _shard_set(a), _shard_set(b)
+    return sa is None or sb is None or bool(sa & sb)
+
+
 def eligible_requests(queued: list) -> list:
-    """The subset of queued requests the per-graph update fences allow.
+    """The subset of queued requests the update fences allow.
 
     Per **graph** — not per session key: an update advances the graph's
-    one store version, visible to every variant's resident session —
-    requests are admitted in arrival order up to (and excluding) the
-    first queued update; an update itself is admitted only as its
-    graph's earliest queued request.  Each graph's earliest request is
-    always admitted, so the result is never empty for a non-empty queue.
+    one store version, visible to every variant's resident session — a
+    request is admitted iff no *conflicting* request queued ahead of it
+    (arrival order) exists.  Without shard annotations that reduces to
+    the classic per-graph fence: queries flow up to the first queued
+    update, an update is admitted only as its graph's earliest queued
+    request.  With annotations (:attr:`~repro.serve.request
+    .UpdateRequest.shards`), updates touching disjoint shard sets of one
+    graph stop conflicting and may overtake each other — per-shard
+    version chains are order-independent across disjoint commits, so
+    answers stay scheduler-independent.  Each graph's earliest request
+    conflicts with nothing ahead of it, so the result is never empty for
+    a non-empty queue.
     """
     by_graph: dict[str, list] = {}
     for req in queued:
@@ -55,27 +85,29 @@ def eligible_requests(queued: list) -> list:
     for reqs in by_graph.values():
         reqs.sort(key=arrival_order)
         for i, req in enumerate(reqs):
-            if req.is_update:
-                if i == 0:
-                    out.append(req)
-                break
-            out.append(req)
+            if not any(_conflicts(req, ahead) for ahead in reqs[:i]):
+                out.append(req)
     return out
 
 
 def coalescible_updates(queued: list, head) -> list:
     """Queued updates that may merge into ``head``'s store flush.
 
-    ``head`` must be an update the fence just admitted (its graph's
-    earliest queued request).  The mergeable set is the run of *updates*
-    directly following it in the graph's arrival order: the run stops at
-    the first queued query, whose answer must observe only the versions
-    committed before it arrived.  Order within the run is arrival order,
-    so last-writer-wins coalescing equals sequential application.
+    ``head`` must be an update the fence just admitted.  The mergeable
+    set is the run of *updates* directly following it in the graph's
+    arrival order: the run stops at the first queued query, whose answer
+    must observe only the versions committed before it arrived.  Order
+    within the run is arrival order, so last-writer-wins coalescing
+    equals sequential application.  Under shard-set fencing an admitted
+    update need not lead its graph's queue (an earlier disjoint-shard
+    update may still be waiting); coalescing across such a gap would
+    reorder the skipped request's commit into the flush, so the merge
+    set is simply empty then.
     """
     run = sorted((r for r in queued if r.graph == head.graph),
                  key=arrival_order)
-    assert run and run[0] is head, "head must lead its graph's queue"
+    if not run or run[0] is not head:
+        return []
     out = []
     for req in run[1:]:
         if not req.is_update:

@@ -1,0 +1,145 @@
+"""Consistent-hash placement of session keys over stores.
+
+The :class:`HashRing` is the classic construction: every node owns
+``vnodes`` points on a 64-bit ring, a key lands on the first point at or
+clockwise of its own hash, and membership changes only reassign the arcs
+adjacent to the affected node's points — removing one of ``N`` nodes
+remaps only the keys it owned (~``K/N`` of them), and adding a node
+steals ~``K/N`` keys spread evenly across the others.  The property
+suite pins both bounds.
+
+Hashing is :func:`hashlib.blake2b` over ``repr(key)`` bytes —
+deliberately *not* Python's builtin ``hash``, which is salted per
+process (``PYTHONHASHSEED``) and would make placement unreproducible
+across runs.  Everything here is a pure function of the membership set
+and the key, which is what makes routed serving bit-reproducible.
+
+The :class:`ShardRouter` binds a ring to actual stores: serving resolves
+a request's ``session_key`` to the replica that owns it, and membership
+doubles as liveness — evicting a replica removes its points, so
+surviving replicas inherit its keys with no coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Hashable, Iterable
+
+from repro.utils.errors import ConfigError
+
+__all__ = ["HashRing", "ShardRouter"]
+
+DEFAULT_VNODES = 64
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def _key_bytes(key: Hashable) -> bytes:
+    # repr() of the session-key tuples used for routing is deterministic
+    # (str graph names, sorted override tuples) — unlike hash(), which
+    # is process-salted.
+    return repr(key).encode()
+
+
+class HashRing:
+    """A consistent-hash ring of named nodes with virtual points."""
+
+    def __init__(self, nodes: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ConfigError(f"need >= 1 vnode per node, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s points; ~K/len(ring) keys move to it."""
+        if not node:
+            raise ConfigError("a ring node needs a non-empty name")
+        if node in self._nodes:
+            raise ConfigError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            point = _point(f"{node}#{i}".encode())
+            self._points.append((point, node))
+        self._points.sort()
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``'s points; only the keys it owned move."""
+        if node not in self._nodes:
+            raise ConfigError(f"node {node!r} is not on the ring")
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def owner(self, key: Hashable) -> str:
+        """The node owning ``key``: first point clockwise of its hash."""
+        if not self._points:
+            raise ConfigError("the ring has no nodes")
+        point = _point(_key_bytes(key))
+        idx = bisect_right(self._points, (point, "￿"))
+        return self._points[idx % len(self._points)][1]
+
+    def table(self, keys: Iterable[Hashable]) -> dict:
+        """Placement of many keys at once (for stability measurements)."""
+        return {key: self.owner(key) for key in keys}
+
+
+class ShardRouter:
+    """A ring over live stores: ``session_key`` → the store serving it."""
+
+    def __init__(self, stores: dict | None = None, *,
+                 vnodes: int = DEFAULT_VNODES):
+        self._ring = HashRing(vnodes=vnodes)
+        self._stores: dict[str, object] = {}
+        for store_id, store in (stores or {}).items():
+            self.add_store(store_id, store)
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __contains__(self, store_id: str) -> bool:
+        return store_id in self._stores
+
+    def store_ids(self) -> list[str]:
+        return self._ring.nodes()
+
+    def add_store(self, store_id: str, store) -> None:
+        self._ring.add(store_id)
+        self._stores[store_id] = store
+
+    def remove_store(self, store_id: str):
+        """Take a store out of rotation; its keys re-route immediately."""
+        self._ring.remove(store_id)
+        return self._stores.pop(store_id)
+
+    def route(self, session_key: Hashable) -> str:
+        """The id of the store owning ``session_key``."""
+        return self._ring.owner(session_key)
+
+    def store_for(self, session_key: Hashable):
+        """The store object owning ``session_key`` (the pool's hook)."""
+        return self._stores[self._ring.owner(session_key)]
+
+    def get(self, store_id: str):
+        try:
+            return self._stores[store_id]
+        except KeyError:
+            raise ConfigError(
+                f"store {store_id!r} is not routed "
+                f"({', '.join(self.store_ids()) or 'empty'})") from None

@@ -1,0 +1,82 @@
+"""Property tests: consistent-hash ring stability under membership churn.
+
+The two bounds that make consistent hashing worth having:
+
+* removing one of ``N`` nodes remaps **only the keys it owned** — every
+  other key keeps its owner (exact, no slack);
+* adding a node to ``N`` moves at most ~``2 * K / (N+1)`` of ``K`` keys
+  (expected ``K/(N+1)``; the factor-2 ceiling absorbs vnode variance),
+  and every moved key moves **to** the new node, never between old ones.
+
+Key populations are derived from :func:`repro.utils.rng.derive_seed`, so
+each example — and the whole suite — is deterministic across runs and
+processes (the ring hashes ``repr(key)`` with blake2b, never the salted
+builtin ``hash``).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shardstore import HashRing
+from repro.utils.rng import derive_seed
+
+
+def make_keys(seed: int, k: int) -> list:
+    """Session-key-shaped tuples from a derived, reproducible stream."""
+    rng = np.random.default_rng(derive_seed(seed, "ring-keys", k))
+    names = rng.integers(0, 10_000, size=k)
+    variants = rng.integers(0, 3, size=k)
+    return [(f"g{int(name)}-{i}",
+             () if v == 0 else ((("method", "ssi"),) if v == 1
+                                else (("method", "binary"),)))
+            for i, (name, v) in enumerate(zip(names, variants))]
+
+
+ring_cases = st.tuples(
+    st.integers(min_value=2, max_value=6),      # nodes
+    st.integers(min_value=0, max_value=2**31),  # key-population seed
+)
+
+
+@given(ring_cases)
+@settings(max_examples=30, deadline=None)
+def test_removing_a_node_remaps_only_its_keys(case):
+    nnodes, seed = case
+    keys = make_keys(seed, 300)
+    nodes = [f"r{i}" for i in range(nnodes)]
+    ring = HashRing(nodes)
+    before = ring.table(keys)
+    victim = nodes[seed % nnodes]
+    ring.remove(victim)
+    after = ring.table(keys)
+    for key in keys:
+        if before[key] == victim:
+            assert after[key] != victim          # its keys moved somewhere
+        else:
+            assert after[key] == before[key]     # everyone else: untouched
+
+
+@given(ring_cases)
+@settings(max_examples=30, deadline=None)
+def test_adding_a_node_moves_at_most_its_fair_share(case):
+    nnodes, seed = case
+    keys = make_keys(seed, 500)
+    ring = HashRing([f"r{i}" for i in range(nnodes)])
+    before = ring.table(keys)
+    ring.add("newcomer")
+    after = ring.table(keys)
+    moved = [key for key in keys if after[key] != before[key]]
+    # Every moved key moved TO the newcomer — adds never shuffle the rest.
+    assert all(after[key] == "newcomer" for key in moved)
+    assert len(moved) <= 2 * len(keys) / (nnodes + 1)
+
+
+@given(ring_cases)
+@settings(max_examples=15, deadline=None)
+def test_placement_is_deterministic(case):
+    nnodes, seed = case
+    keys = make_keys(seed, 100)
+    nodes = [f"r{i}" for i in range(nnodes)]
+    assert HashRing(nodes).table(keys) == \
+        HashRing(list(reversed(nodes))).table(keys)

@@ -1,0 +1,139 @@
+"""Shard geometry: alignment, slicing/assembly, batch splitting."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.delta import UpdateBatch, random_update_batch
+from repro.graph.generators import powerlaw_configuration
+from repro.graph.partition import BlockPartition1D
+from repro.graph.partition2d import GridPartition2D
+from repro.shardstore import ShardPlan
+from repro.utils.errors import PartitionError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_configuration(120, 700, seed=3, name="g")
+
+
+class TestAlignment:
+    @pytest.mark.parametrize("n,nranks,nshards", [
+        (100, 8, 4), (100, 8, 2), (100, 8, 8), (10, 4, 2), (7, 6, 3),
+    ])
+    def test_1d_boundaries_group_whole_rank_ranges(self, n, nranks, nshards):
+        plan = ShardPlan.align_1d(n, nranks, nshards)
+        assert plan.nshards == nshards
+        assert plan.aligns_with(BlockPartition1D(n, nranks)._starts)
+
+    def test_1d_rejects_non_dividing_shards(self):
+        with pytest.raises(PartitionError, match="evenly group"):
+            ShardPlan.align_1d(100, 8, 3)
+
+    def test_2d_boundaries_group_grid_block_rows(self):
+        plan = ShardPlan.align_2d(100, 9, 3)
+        assert plan.nshards == 3
+        assert plan.aligns_with(GridPartition2D(100, 9)._row_starts)
+
+    def test_2d_rejects_non_dividing_rows(self):
+        with pytest.raises(PartitionError, match="row count"):
+            ShardPlan.align_2d(100, 9, 2)   # 3x3 grid, 2 does not divide 3
+
+    def test_redividing_would_straddle(self):
+        """The motivating counterexample: BlockPartition1D(10, 2) starts
+        are not a subset of BlockPartition1D(10, 4) starts — grouping is
+        what makes alignment structural."""
+        fine = BlockPartition1D(10, 4)._starts        # [0, 3, 6, 8, 10]
+        naive = BlockPartition1D(10, 2)._starts       # [0, 5, 10]
+        assert not np.isin(naive, fine).all()
+        plan = ShardPlan.align_1d(10, 4, 2)
+        assert plan.aligns_with(fine)
+
+
+class TestGeometry:
+    def test_raw_ctor_validation(self):
+        with pytest.raises(PartitionError, match=">= 2 boundaries"):
+            ShardPlan(10, [0])
+        with pytest.raises(PartitionError, match="must run 0..10"):
+            ShardPlan(10, [0, 5, 9])
+        with pytest.raises(PartitionError, match="non-decreasing"):
+            ShardPlan(10, [0, 7, 5, 10])
+
+    def test_shard_of_matches_ranges(self):
+        plan = ShardPlan.align_1d(50, 4, 2)
+        for s in range(plan.nshards):
+            lo, hi = plan.range_of(s)
+            for v in (lo, hi - 1):
+                assert plan.shard_of(v) == s
+        np.testing.assert_array_equal(
+            plan.owners(np.arange(50)),
+            [plan.shard_of(v) for v in range(50)])
+
+    def test_out_of_range_rejected(self):
+        plan = ShardPlan.align_1d(50, 4, 2)
+        with pytest.raises(PartitionError, match="out of range"):
+            plan.range_of(2)
+        with pytest.raises(PartitionError, match="out of range"):
+            plan.shard_of(50)
+
+
+class TestSliceAssemble:
+    def test_round_trip_is_exact(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        slices = [plan.slice_shard(graph, s) for s in range(4)]
+        back = plan.assemble(slices, directed=graph.directed,
+                             name=graph.name)
+        np.testing.assert_array_equal(back.offsets, graph.offsets)
+        np.testing.assert_array_equal(back.adjacency, graph.adjacency)
+        assert back.directed == graph.directed
+
+    def test_slices_are_directed_row_ranges(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        piece = plan.slice_shard(graph, 1)
+        assert piece.directed is True
+        assert piece.n == graph.n
+        lo, hi = plan.range_of(1)
+        # Degree 0 outside the owned range, original degrees inside.
+        degs = np.diff(piece.offsets)
+        assert not degs[:lo].any() and not degs[hi:].any()
+        np.testing.assert_array_equal(
+            degs[lo:hi], np.diff(graph.offsets)[lo:hi])
+
+    def test_mismatched_inputs_rejected(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        with pytest.raises(PartitionError, match="does not match"):
+            plan.slice_shard(powerlaw_configuration(30, 60, seed=1), 0)
+        with pytest.raises(PartitionError, match="expected 4 slices"):
+            plan.assemble([graph], directed=False)
+
+
+class TestSplitBatch:
+    def test_partition_of_stored_keys(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        batch = random_update_batch(graph, n_edges=40, seed=9)
+        sub = plan.split_batch(batch)
+        assert set(sub) == set(plan.touched_shards(batch))
+        for s, piece in sub.items():
+            assert piece.directed is True
+            lo, hi = plan.range_of(s)
+            keys = np.concatenate([piece.insert_keys, piece.delete_keys])
+            src = keys // graph.n
+            assert (src >= lo).all() and (src < hi).all()
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(
+                [p.insert_keys for p in sub.values()])),
+            batch.insert_keys)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(
+                [p.delete_keys for p in sub.values()])),
+            batch.delete_keys)
+
+    def test_empty_batch_touches_nothing(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        batch = UpdateBatch.build(None, None, n=graph.n)
+        assert plan.split_batch(batch) == {}
+        assert plan.touched_shards(batch) == frozenset()
+
+    def test_wrong_universe_rejected(self, graph):
+        plan = ShardPlan.align_1d(graph.n, 8, 4)
+        with pytest.raises(PartitionError, match="does not match"):
+            plan.split_batch(UpdateBatch.build([[0, 1]], None, n=10))

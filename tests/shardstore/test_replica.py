@@ -1,0 +1,125 @@
+"""Replica sets: independent application, divergence, evict/re-seed."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.delta import random_update_batch
+from repro.graph.generators import powerlaw_configuration
+from repro.serve import ServeConfig
+from repro.serve.request import QueryRequest, UpdateRequest
+from repro.shardstore import ReplicaSet
+from repro.utils.errors import ConfigError
+from repro.utils.rng import derive_seed
+
+
+@pytest.fixture()
+def catalog():
+    return {"g": powerlaw_configuration(90, 500, seed=8, name="g")}
+
+
+def commit_round(rs, r):
+    head = rs.primary.graph("g")
+    rs.commit("g", random_update_batch(
+        head, n_edges=16, seed=derive_seed(4, "replica-test", r)))
+
+
+def queries(n, graphs=("g",)):
+    return [QueryRequest(arrival=0.05 * i, qid=i, tenant=i % 4,
+                        graph=graphs[i % len(graphs)], kernel="lcc",
+                        overrides=(("method", "ssi"),) if i % 3 else ())
+            for i in range(n)]
+
+
+class TestConvergence:
+    def test_independent_application_converges(self, catalog):
+        rs = ReplicaSet(catalog, replicas=3, nshards=2, nranks=4)
+        for r in range(3):
+            commit_round(rs, r)
+        assert rs.verify() == []
+        assert rs.divergent() == []
+
+    def test_divergence_detected_and_healed(self, catalog):
+        rs = ReplicaSet(catalog, replicas=2, nshards=2, nranks=4)
+        commit_round(rs, 0)
+        rogue = rs.live_ids()[0]
+        # A write that bypassed the set: the replica's history forks.
+        rs.replica(rogue).apply("g", random_update_batch(
+            rs.replica(rogue).graph("g"), n_edges=4, seed=99))
+        assert rs.divergent() == [rogue]
+        assert any("digest diverged" in p or "version vector" in p
+                   or rogue in p for p in rs.verify())
+        assert rs.heal() == [rogue]
+        assert rs.verify() == []
+        assert rs.reseeds == 1
+        # Converged for real: the next commit keeps digests equal.
+        commit_round(rs, 1)
+        assert rs.verify() == []
+
+    def test_evicted_replica_misses_commits_until_rejoin(self, catalog):
+        rs = ReplicaSet(catalog, replicas=2, nshards=2, nranks=4)
+        rs.evict("r0")
+        assert rs.live_ids() == ["r1"]
+        commit_round(rs, 0)
+        assert rs.replica("r0").version("g").version == 0
+        rs.rejoin("r0")
+        assert rs.replica("r0").version("g").version == 1
+        assert rs.verify() == []
+
+
+class TestMembershipErrors:
+    def test_unknown_replica(self, catalog):
+        rs = ReplicaSet(catalog, replicas=1)
+        with pytest.raises(ConfigError, match="unknown replica"):
+            rs.replica("r9")
+
+    def test_double_evict_and_rejoin(self, catalog):
+        rs = ReplicaSet(catalog, replicas=2)
+        rs.evict("r0")
+        with pytest.raises(ConfigError, match="already evicted"):
+            rs.evict("r0")
+        rs.rejoin("r0")
+        with pytest.raises(ConfigError, match="already live"):
+            rs.rejoin("r0")
+
+    def test_need_one_replica(self, catalog):
+        with pytest.raises(ConfigError, match=">= 1 replica"):
+            ReplicaSet(catalog, replicas=0)
+
+
+class TestServeReads:
+    CFG = ServeConfig(nranks=4, threads=2, pool_capacity=2)
+
+    def test_digests_are_placement_independent(self, catalog):
+        """1 replica vs 3 replicas: different routing, same answers."""
+        reqs = queries(18)
+        one = ReplicaSet(catalog, replicas=1, nshards=2, nranks=4)
+        three = ReplicaSet(catalog, replicas=3, nshards=2, nranks=4)
+        out1 = one.serve_reads(reqs, self.CFG)
+        out3 = three.serve_reads(reqs, self.CFG)
+        assert out1.digests() == out3.digests()
+        assert len(out3.records) == len(reqs)
+        assert sum(out3.replica_counts.values()) == len(reqs)
+
+    def test_routing_respects_the_ring(self, catalog):
+        rs = ReplicaSet(catalog, replicas=3, nshards=2, nranks=4)
+        out = rs.serve_reads(queries(12), self.CFG)
+        for rec in out.records:
+            key = (rec.graph,
+                   (("method", "ssi"),) if rec.qid % 3 else ())
+            assert rec.replica == rs.router.route(key)
+
+    def test_validation(self, catalog):
+        rs = ReplicaSet(catalog, replicas=2, nshards=2, nranks=4)
+        with pytest.raises(ConfigError, match="empty read burst"):
+            rs.serve_reads([], self.CFG)
+        upd = UpdateRequest(arrival=0.0, qid=0, tenant=0, graph="g",
+                            inserts=np.array([[0, 1]]))
+        with pytest.raises(ConfigError, match="queries only"):
+            rs.serve_reads([upd], self.CFG)
+        with pytest.raises(ConfigError, match="come as a pair"):
+            rs.serve_reads(queries(4), self.CFG, kill_replica="r0")
+        with pytest.raises(ConfigError, match="needs a kill"):
+            rs.serve_reads(queries(4), self.CFG, rejoin_at=2)
+        with pytest.raises(ConfigError, match="not live"):
+            rs.serve_reads(queries(4), self.CFG, kill_replica="r9",
+                           kill_at=1)

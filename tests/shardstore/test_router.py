@@ -1,0 +1,72 @@
+"""The consistent-hash ring and the store router bound to it."""
+
+import pytest
+
+from repro.shardstore import HashRing, ShardRouter
+from repro.utils.errors import ConfigError
+
+KEYS = [(f"g{i}", (("method", "ssi"),) if i % 2 else ()) for i in range(200)]
+
+
+class TestHashRing:
+    def test_placement_is_process_independent(self):
+        """repr()-based hashing, not builtin hash(): two rings built the
+        same way agree key by key (and would across interpreter runs)."""
+        a, b = HashRing(["x", "y", "z"]), HashRing(["z", "y", "x"])
+        assert a.table(KEYS) == b.table(KEYS)
+
+    def test_owner_is_a_member(self):
+        ring = HashRing(["x", "y", "z"])
+        assert set(ring.table(KEYS).values()) <= {"x", "y", "z"}
+
+    def test_every_node_owns_something(self):
+        ring = HashRing(["x", "y", "z"])
+        assert set(ring.table(KEYS).values()) == {"x", "y", "z"}
+
+    def test_membership_protocol(self):
+        ring = HashRing(["x"])
+        assert "x" in ring and len(ring) == 1
+        ring.add("y")
+        assert ring.nodes() == ["x", "y"]
+        ring.remove("x")
+        assert "x" not in ring and ring.nodes() == ["y"]
+
+    def test_errors(self):
+        ring = HashRing()
+        with pytest.raises(ConfigError, match="no nodes"):
+            ring.owner("k")
+        with pytest.raises(ConfigError, match="non-empty name"):
+            ring.add("")
+        ring.add("x")
+        with pytest.raises(ConfigError, match="already on the ring"):
+            ring.add("x")
+        with pytest.raises(ConfigError, match="not on the ring"):
+            ring.remove("y")
+        with pytest.raises(ConfigError, match=">= 1 vnode"):
+            HashRing(vnodes=0)
+
+
+class TestShardRouter:
+    def test_routes_to_the_owning_store(self):
+        stores = {"r0": object(), "r1": object(), "r2": object()}
+        router = ShardRouter(dict(stores))
+        for key in KEYS[:40]:
+            rid = router.route(key)
+            assert router.store_for(key) is stores[rid]
+
+    def test_membership_is_liveness(self):
+        stores = {"r0": object(), "r1": object()}
+        router = ShardRouter(dict(stores))
+        gone = router.remove_store("r0")
+        assert gone is stores["r0"]
+        assert router.store_ids() == ["r1"]
+        assert "r0" not in router
+        assert all(router.route(k) == "r1" for k in KEYS[:20])
+        router.add_store("r0", stores["r0"])
+        assert len(router) == 2
+
+    def test_get_unknown_store(self):
+        router = ShardRouter({"r0": object()})
+        assert router.get("r0") is not None
+        with pytest.raises(ConfigError, match="not routed"):
+            router.get("r9")

@@ -435,6 +435,166 @@ class TestStore:
             main(["store", "skitter", "--check", "BENCH_store.json"])
 
 
+class TestShard:
+    @staticmethod
+    def _patch_canned_shard(monkeypatch, scaling=2.0, **overrides):
+        """Replace the (slow) shard bench with a canned passing report."""
+        import repro.analysis.shard as shd
+
+        canned = {
+            "schema_version": shd.SHARD_SCHEMA_VERSION, "quick": True,
+            "nranks": 8, "nshards": 4, "replicas": 3, "threads": 4,
+            "graphs": {},
+            "bit_identity": {"g": {
+                "rounds": 4, "nshards": 4, "multi_shard_commits": 3,
+                "heads_identical": True, "kernels_checked": 6,
+                "kernels_identical": True, "version_vector": [3, 3, 3, 3],
+                "version_vector_ok": True, "final_version": 4}},
+            "read_scaling": {
+                "n_queries": 36, "replicas": 3, "throughput_1_qps": 500.0,
+                "throughput_n_qps": 500.0 * scaling,
+                "read_scaling": scaling, "digests_identical": True,
+                "replica_counts": {"r0": 12, "r1": 12, "r2": 12}},
+            "updates": {
+                "serving": {
+                    "n_requests": 32, "n_updates": 8,
+                    "multi_shard_updates": 4, "results_identical": True,
+                    "matches_unsharded_queries": True, "schedulers": {}},
+                "g": {"edges_per_batch": 8, "single_shard_wall_s": 0.001,
+                      "cross_shard_wall_s": 0.002,
+                      "cross_to_single_latency": 2.0,
+                      "cross_shards_touched_mean": 4.0,
+                      "version_vector_ok": True}},
+            "failover": {
+                "n_queries": 36, "killed_replica": "r1", "kill_at_qid": 12,
+                "rejoin_at_qid": 24, "digests_identical": True,
+                "reseeds": 1, "rejoined_converged": True,
+                "throughput_plain_qps": 1000.0,
+                "throughput_faulted_qps": 900.0,
+                "replica_counts_faulted": {}},
+            "replication": {"g": {
+                "commits": 4, "replicas": 3, "converged": True,
+                "divergence_detected": True, "healed": True,
+                "converged_after_heal": True, "reseeds": 1}},
+        }
+        canned.update(overrides)
+        monkeypatch.setattr(shd, "run_shard_bench",
+                            lambda quick=False, graphs=None: canned)
+
+    def test_one_off_shard_json(self, capsys):
+        assert main(["shard", "skitter", "--scale", "0.2", "--nranks", "8",
+                     "--nshards", "4", "--edges", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bit_identical"] is True
+        assert payload["version_vector_ok"] is True
+        assert payload["replicas_converged"] is True
+        assert payload["version"].endswith("@v1")
+
+    def test_shard_bench_writes_gated_report(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.analysis.shard import SHARD_REPORT_KEYS, check_shard_report
+
+        self._patch_canned_shard(monkeypatch)
+        out_file = tmp_path / "BENCH_shard.json"
+        assert main(["shard", "--quick", "--bench", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        for key in SHARD_REPORT_KEYS:
+            assert key in report
+        assert check_shard_report(report) == []
+        out = capsys.readouterr().out
+        assert "sharded == unsharded" in out
+        assert "failover" in out
+
+    def test_shard_bench_check_against_baseline(self, tmp_path, capsys,
+                                                monkeypatch):
+        self._patch_canned_shard(monkeypatch)
+        baseline = tmp_path / "baseline.json"
+        self._patch_canned_shard(monkeypatch)
+        assert main(["shard", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        assert main(["shard", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline), "--no-trajectory"]) == 0
+        assert "shard check OK" in capsys.readouterr().err
+
+    def test_shard_bench_check_fails_on_regression(self, tmp_path, capsys,
+                                                   monkeypatch):
+        self._patch_canned_shard(monkeypatch, scaling=8.0)
+        baseline = tmp_path / "baseline.json"
+        assert main(["shard", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        self._patch_canned_shard(monkeypatch, scaling=1.6)
+        assert main(["shard", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline), "--no-trajectory"]) == 1
+        err = capsys.readouterr().err
+        assert "shard check FAILED" in err
+        assert "fell below" in err
+
+    def test_failed_check_records_no_trajectory_row(self, tmp_path,
+                                                    monkeypatch):
+        self._patch_canned_shard(monkeypatch, scaling=8.0)
+        baseline = tmp_path / "baseline.json"
+        assert main(["shard", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        self._patch_canned_shard(monkeypatch, scaling=1.6)
+        assert main(["shard", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline)]) == 1
+        assert not (tmp_path / "BENCH_trajectory.json").exists()
+
+    def test_trajectory_row_appended(self, tmp_path, monkeypatch):
+        self._patch_canned_shard(monkeypatch)
+        out_file = tmp_path / "BENCH_shard.json"
+        assert main(["shard", "--quick", "--bench", str(out_file)]) == 0
+        data = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert len(data["rows"]) == 1
+        assert data["rows"][0]["kind"] == "shard"
+        assert data["rows"][0]["read_scaling"] == 2.0
+
+    def test_shard_bench_rejects_customization_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--nshards"):
+            main(["shard", "--bench", str(tmp_path / "x.json"), "--quick",
+                  "--nshards", "8"])
+        with pytest.raises(SystemExit, match="dataset"):
+            main(["shard", "skitter", "--bench", str(tmp_path / "x.json"),
+                  "--quick"])
+
+    def test_check_without_bench_rejected(self):
+        with pytest.raises(SystemExit, match="--bench"):
+            main(["shard", "skitter", "--check", "BENCH_shard.json"])
+
+
+class TestBaselineErrors:
+    """--check must fail fast, nonzero, with a one-line reason."""
+
+    def test_missing_baseline_one_line_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["shard", "--quick", "--bench", str(tmp_path / "f.json"),
+                  "--check", str(tmp_path / "nope.json")])
+        msg = str(exc.value)
+        assert "does not exist" in msg and "\n" not in msg
+        # Nothing ran, nothing was written.
+        assert not (tmp_path / "f.json").exists()
+
+    def test_corrupt_baseline_one_line_error(self, tmp_path):
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            main(["store", "--quick", "--bench", str(tmp_path / "f.json"),
+                  "--check", str(bad)])
+        msg = str(exc.value)
+        assert "not valid JSON" in msg and "\n" not in msg
+        assert not (tmp_path / "f.json").exists()
+
+    @pytest.mark.parametrize("cmd", ["bench", "update", "store", "shard"])
+    def test_every_gated_command_fails_fast(self, cmd, tmp_path):
+        flag = "--json" if cmd == "bench" else "--bench"
+        with pytest.raises(SystemExit, match="does not exist"):
+            main([cmd, "--quick", flag, str(tmp_path / "f.json"),
+                  "--check", str(tmp_path / "missing.json")])
+
+
 class TestRound2Guards:
     def test_failed_bench_check_records_no_trajectory_row(self, tmp_path,
                                                           monkeypatch):
