@@ -39,12 +39,14 @@ incremental recompute and targeted cache invalidation);
 :mod:`repro.graphstore` (the versioned graph store and the resident 1D /
 2D clusters it feeds); :mod:`repro.serve` (multi-tenant query serving
 with cache-affinity scheduling over a bounded session pool, mixing reads
-with versioned graph updates); :mod:`repro.shardstore` (partition-aligned
+with versioned graph updates — serially or through the cooperative
+async engine, whose overlapped answers are pinned bit-identical to the
+serial oracle); :mod:`repro.shardstore` (partition-aligned
 shards with cross-shard commit barriers, consistent-hash routing and
 digest-verified read replicas over the store).
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.dynamic import (  # noqa: E402
     DeltaBuffer,

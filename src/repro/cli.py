@@ -536,6 +536,97 @@ def cmd_shard(args) -> int:
     return 0
 
 
+ASYNC_DEFAULTS = {"queries": 80, "rate": 2000.0, "tenants": 8,
+                  "update_mix": 0.25, "workers": 6, "max_queue": 0,
+                  "overflow": "defer", "arrival_mode": "poisson",
+                  "catalog_scale": 0.3, "seed": 0}
+
+
+def cmd_async_serve(args) -> int:
+    from repro.analysis.async_serve import (
+        async_trajectory_row,
+        check_async_against_baseline,
+        one_off_async_run,
+        run_async_bench,
+        write_async_report,
+    )
+    from repro.analysis.benchreport import append_trajectory_row
+
+    if args.bench:
+        ignored = [flag for flag, is_default in (
+            ("--json", not args.json),
+            *((f"--{name.replace('_', '-')}",
+               getattr(args, name) == default)
+              for name, default in ASYNC_DEFAULTS.items()),
+        ) if not is_default]
+        if ignored:
+            raise SystemExit(
+                f"async-serve --bench uses the pinned benchmark workloads; "
+                f"{', '.join(ignored)} would be ignored — drop them (or run "
+                "without --bench for a one-off configurable run)")
+        baseline = _load_baseline(args.check) if args.check else None
+        report = run_async_bench(quick=args.quick)
+        # With a baseline, the tolerance gate below owns the verdict (it
+        # re-checks every correctness clause and both SLO gates).
+        write_async_report(report, args.bench, gate=baseline is None)
+        steady, burst = report["steady"], report["burst"]
+        print(f"steady       p99 {steady['p99_async_s']:.4f}s async vs "
+              f"{steady['p99_serial_s']:.4f}s serial "
+              f"({steady['p99_ratio']:.2f}x)  answers identical: "
+              f"{steady['results_identical']}")
+        print(f"burst        throughput {burst['throughput_async_qps']:.0f} "
+              f"vs {burst['throughput_serial_qps']:.0f} q/s "
+              f"({burst['throughput_ratio']:.2f}x)  overlap "
+              f"{burst['async']['overlap_fraction']:.2f}  answers "
+              f"identical: {burst['results_identical']}")
+        bp = report["backpressure"]
+        print(f"backpressure defer identical {bp['defer_identical']}  "
+              f"shed deterministic {bp['shed_deterministic']} "
+              f"({bp['n_rejected']} rejected, absent from digests: "
+              f"{bp['rejected_absent_from_digests']})")
+        inter = report["interleavings"]
+        print(f"interleaving {len(inter['seeds'])} seeds, all identical to "
+              f"the serial oracle: {inter['all_identical']}")
+        print(f"async report written to {args.bench}", file=sys.stderr)
+        if baseline is not None:
+            problems = check_async_against_baseline(report, baseline)
+            if problems:
+                for problem in problems:
+                    print(f"async check: {problem}", file=sys.stderr)
+                print(f"async check FAILED against baseline {args.check}",
+                      file=sys.stderr)
+                return 1
+            print(f"async check OK against baseline {args.check}",
+                  file=sys.stderr)
+        # Trajectory rows only for gate-accepted runs (same contract as
+        # ``repro bench``).
+        trajectory = args.trajectory
+        if trajectory is None:
+            import os
+
+            trajectory = os.path.join(os.path.dirname(args.bench) or ".",
+                                      "BENCH_trajectory.json")
+        if trajectory:
+            traj_row = append_trajectory_row(
+                async_trajectory_row(report), trajectory)
+            print(f"trajectory row ({traj_row['date']}) appended to "
+                  f"{trajectory}", file=sys.stderr)
+        return 0
+
+    if args.check or args.quick:
+        raise SystemExit(
+            "--check/--quick only apply to the recorded benchmark; "
+            "add --bench PATH (or drop them for a one-off run)")
+    payload = one_off_async_run(
+        n_queries=args.queries, arrival_rate=args.rate,
+        n_tenants=args.tenants, update_mix=args.update_mix,
+        workers=args.workers, max_queue=args.max_queue,
+        overflow=args.overflow, arrival_mode=args.arrival_mode,
+        scale=args.catalog_scale, seed=args.seed)
+    _emit(args, payload)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.analysis.serving import run_serving_bench, write_serve_report
     from repro.serve import (
@@ -813,6 +904,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="small --bench sizes (CI smoke run)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "async-serve",
+        help="cooperative async serving: overlap, coalescing windows, "
+             "backpressure — parity-proved against the serial engine")
+    p.add_argument("--queries", type=int, default=ASYNC_DEFAULTS["queries"],
+                   help="number of requests in the synthetic workload")
+    p.add_argument("--rate", type=float, default=ASYNC_DEFAULTS["rate"],
+                   help="aggregate arrival rate (simulated req/s)")
+    p.add_argument("--tenants", type=int, default=ASYNC_DEFAULTS["tenants"])
+    p.add_argument("--update-mix", type=float,
+                   default=ASYNC_DEFAULTS["update_mix"],
+                   help="fraction of requests that are graph updates")
+    p.add_argument("--workers", type=int, default=ASYNC_DEFAULTS["workers"],
+                   help="cooperative worker slots (overlap ceiling)")
+    p.add_argument("--max-queue", type=int,
+                   default=ASYNC_DEFAULTS["max_queue"],
+                   help="admission bound on the run queue (0 = unbounded)")
+    p.add_argument("--overflow", choices=["defer", "shed"],
+                   default=ASYNC_DEFAULTS["overflow"],
+                   help="full-queue policy: defer keeps arrival-order "
+                        "latency accounting, shed rejects deterministically")
+    p.add_argument("--arrival-mode", choices=["poisson", "bursty", "flash"],
+                   default=ASYNC_DEFAULTS["arrival_mode"])
+    p.add_argument("--catalog-scale", type=float,
+                   default=ASYNC_DEFAULTS["catalog_scale"],
+                   help="shrink/grow the serving graph catalog")
+    p.add_argument("--seed", type=int, default=ASYNC_DEFAULTS["seed"])
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="record the async-vs-serial benchmark "
+                        "(BENCH_async.json) instead of a one-off run")
+    p.add_argument("--quick", action="store_true",
+                   help="small --bench sizes (CI smoke run)")
+    p.add_argument("--check", metavar="BASELINE", default=None,
+                   help="regression gate: fail if the fresh --bench run "
+                        "loses answer bit-identity, the steady p99 "
+                        "ceiling, the burst throughput floor, or drops "
+                        "below tolerance x this committed baseline")
+    p.add_argument("--trajectory", default=None, metavar="PATH",
+                   help="append a dated summary row to this perf-trajectory "
+                        "file (default: BENCH_trajectory.json next to the "
+                        "--bench report)")
+    p.add_argument("--no-trajectory", dest="trajectory",
+                   action="store_const", const="",
+                   help="do not record a trajectory row")
+    p.set_defaults(fn=cmd_async_serve)
 
     p = sub.add_parser("run", help="run any registered kernel by name")
     add_graph_args(p)

@@ -31,13 +31,22 @@ committed ``BENCH_serve.json``.
 """
 
 from repro.serve.engine import (
-    QueryRecord,
+    AsyncServeConfig,
+    AsyncServingEngine,
     ServeConfig,
-    ServeOutcome,
     ServingEngine,
-    UpdateRecord,
 )
 from repro.serve.pool import PoolStats, SessionPool
+from repro.serve.records import (
+    AsyncServeOutcome,
+    QueryRecord,
+    RejectRecord,
+    ServeOutcome,
+    UpdateRecord,
+    answers_identical,
+    concurrency_profile,
+    summarize,
+)
 from repro.serve.request import (
     QueryRequest,
     SessionKey,
@@ -48,11 +57,13 @@ from repro.serve.scheduler import (
     SCHEDULERS,
     CacheAffinityScheduler,
     FIFOScheduler,
+    InterleaveScheduler,
     Scheduler,
     coalescible_updates,
     eligible_requests,
     make_scheduler,
 )
+from repro.serve.tasks import Task, make_task
 from repro.serve.workload import (
     WorkloadSpec,
     default_catalog,
@@ -61,11 +72,16 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "AsyncServeConfig",
+    "AsyncServeOutcome",
+    "AsyncServingEngine",
     "CacheAffinityScheduler",
     "FIFOScheduler",
+    "InterleaveScheduler",
     "PoolStats",
     "QueryRecord",
     "QueryRequest",
+    "RejectRecord",
     "SCHEDULERS",
     "Scheduler",
     "ServeConfig",
@@ -73,14 +89,19 @@ __all__ = [
     "ServingEngine",
     "SessionKey",
     "SessionPool",
+    "Task",
     "UpdateRecord",
     "UpdateRequest",
     "WorkloadSpec",
+    "answers_identical",
     "arrival_order",
     "coalescible_updates",
+    "concurrency_profile",
     "default_catalog",
     "eligible_requests",
     "generate_workload",
     "make_scheduler",
+    "make_task",
+    "summarize",
     "zipf_weights",
 ]

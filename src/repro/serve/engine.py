@@ -1,23 +1,38 @@
-"""The serving loop: execute a workload through a scheduler and a pool.
+"""The serving engines: serial oracle and cooperative async runtime.
 
-The engine is a single simulated server draining a query queue.  Time is
-accounted on two clocks at once:
+Two engines share one vocabulary (:mod:`repro.serve.records`), one task
+model boundary and one commit path:
 
-* the **simulated clock** advances by each query's simulated job time
+* :class:`ServingEngine` — the **serial oracle**.  One request at a
+  time on the simulated clock; every answer digest and version history
+  it produces is the reference the async engine is pinned against.
+* :class:`AsyncServingEngine` — the **cooperative runtime**.  Requests
+  become resumable tasks (:mod:`repro.serve.tasks`) multiplexed over
+  ``workers`` logical workers by a discrete-event loop on the simulated
+  clock: queries against disjoint (graph, shard-set) keys overlap with
+  update application instead of serializing behind the per-graph fence.
+  It adds the adaptive **coalescing window** (an admitted update leader
+  holds for a bounded window to absorb rider updates — never past its
+  deadline), **admission control + backpressure** (bounded run queue
+  with a shed-or-defer overflow policy), and starvation-bounded
+  dispatch.
+
+Time is accounted on two clocks at once:
+
+* the **simulated clock** advances by each request's simulated job time
   (:attr:`DistributedRunResult.time` — the paper's longest-rank metric),
-  so queueing latency and throughput are properties of the modeled
-  cluster, not of the Python interpreter;
-* **wall time** is measured per query too, because the repo's batched
-  replay makes warm queries cheaper *to simulate* as well — the serving
-  report keeps both so speedups can be attributed.
+  so queueing latency, overlap and throughput are properties of the
+  modeled cluster, not of the Python interpreter;
+* **wall time** is measured per request too, because the repo's batched
+  replay makes warm queries cheaper *to simulate* as well.
 
-A query's life: it arrives (workload timestamp), waits queued until the
-scheduler picks it, acquires its resident session from the pool (building
-or evicting if needed), runs with ``keep_cache=True``, and retires with
-``latency = finish - arrival`` on the simulated clock.  Answers are
-digested (SHA-1 over the result arrays, prefixed with the graph version
-the query observed) so scheduler runs can be checked for bit-identical
-per-query results *and* identical version observations.
+Python execution stays sequential — overlap is a property of the
+simulated timeline.  That is what makes the safety argument airtight:
+the event loop processes completions in deterministic simulated order,
+so for a fixed workload and scheduler the run is bit-reproducible, and
+the per-(graph, shard-set) fences guarantee any interleaving observes
+the same versions and returns the same bits as the serial oracle (the
+property suite drives randomized interleavings to pin exactly that).
 
 **Updates** are writes against the
 :class:`~repro.graphstore.store.GraphStore`, not against any one
@@ -31,28 +46,36 @@ for one graph are **coalesced**: each still commits its own version (so
 the history is scheduler-independent), but the expensive resident resync
 runs once, on the merged delta of a single
 :class:`~repro.dynamic.delta.DeltaBuffer` flush — pinned equal to
-sequential application.  The queue is pre-filtered through the per-graph
-update fences (:func:`~repro.serve.scheduler.eligible_requests`) before
-any scheduler pick, and update digests are the store's *chained* history
-digests — so the identical-answers check proves every scheduler
-serialized each graph's reads and writes, and its version history, the
-same way.
+sequential application.  The queue is pre-filtered through the
+per-graph update fences (:func:`~repro.serve.scheduler
+.eligible_requests`) before any scheduler pick, and update digests are
+the store's *chained* history digests — so the identical-answers check
+proves every scheduler serialized each graph's reads and writes, and
+its version history, the same way.
 """
 
 from __future__ import annotations
 
-import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
-
-import numpy as np
 
 from repro.core.config import CacheSpec, LCCConfig
 from repro.dynamic.delta import DeltaBuffer, UpdateBatch, apply_delta
 from repro.graph.csr import CSRGraph
 from repro.graphstore.store import GraphStore, graph_digest
 from repro.serve.pool import SessionPool
+from repro.serve.records import (
+    AsyncServeOutcome,
+    QueryRecord,
+    RejectRecord,
+    ServeOutcome,
+    UpdateRecord,
+    answers_identical,
+    concurrency_profile,
+    result_digest,
+    summarize,
+)
 from repro.serve.request import QueryRequest, UpdateRequest, arrival_order
 from repro.serve.scheduler import (
     FIFOScheduler,
@@ -60,7 +83,34 @@ from repro.serve.scheduler import (
     coalescible_updates,
     eligible_requests,
 )
+from repro.serve.tasks import (
+    Acquire,
+    Commit,
+    Committed,
+    Executed,
+    Hold,
+    Run,
+    Task,
+    make_task,
+)
 from repro.utils.errors import ConfigError
+
+#: Back-compat alias: the digest helper moved to :mod:`repro.serve.records`.
+_digest = result_digest
+
+__all__ = [
+    "AsyncServeConfig",
+    "AsyncServingEngine",
+    "QueryRecord",
+    "RejectRecord",
+    "ServeConfig",
+    "ServeOutcome",
+    "AsyncServeOutcome",
+    "ServingEngine",
+    "UpdateRecord",
+    "answers_identical",
+    "summarize",
+]
 
 
 @dataclass(frozen=True)
@@ -89,172 +139,127 @@ class ServeConfig:
                          cache=cache, **overrides)
 
 
-@dataclass
-class QueryRecord:
-    """One served query, on both clocks."""
+@dataclass(frozen=True)
+class AsyncServeConfig(ServeConfig):
+    """Cooperative-runtime knobs on top of the shared cluster shape.
 
-    qid: int
-    tenant: int
-    graph: str
-    kernel: str
-    arrival: float        # simulated
-    start: float          # simulated (>= arrival)
-    finish: float         # simulated (start + service)
-    service_s: float      # simulated job time of the kernel run
-    wall_s: float         # real seconds spent executing the query
-    warm_cache: bool      # served against carried-over CLaMPI contents
-    built_session: bool   # paid a cold partition (pool miss)
-    adj_hit_rate: float | None
-    digest: str           # SHA-1 over (observed graph version, answers)
-    version: int = 0      # store version of the graph this query observed
-
-    @property
-    def latency(self) -> float:
-        """Simulated end-to-end latency (queueing + service)."""
-        return self.finish - self.arrival
-
-
-@dataclass
-class UpdateRecord:
-    """One committed update batch, on both clocks.
-
-    When several queued updates for one graph were coalesced into a
-    single resident resync, every member still gets its own record (and
-    its own store version/digest); the shared resync cost is charged to
-    the group head (``service_s``), the riders retire at the same finish
-    with ``service_s == 0`` and ``coalesced=True``.
+    * ``workers`` — logical concurrency: how many tasks may occupy the
+      simulated timeline at once.  ``workers=1`` degenerates to serial
+      service order (a useful sanity anchor for the parity tests).
+    * ``max_queue`` / ``overflow`` — admission control: a request
+      arriving while ``max_queue`` admitted requests wait is either
+      **deferred** (admitted later, keeping arrival-order latency
+      accounting — latency still counts from its true arrival) or
+      **shed** (rejected outright; it never executes, never commits and
+      never appears in the answer digests).  ``max_queue=0`` disables
+      the bound.
+    * ``coalesce_window_s`` / ``adaptive_window`` — group commit: an
+      admitted update leader holds for a bounded window to absorb rider
+      updates into one resident resync.  The window never extends past
+      ``arrival + slo_update_s`` (the deadline bound the fairness tests
+      pin) and closes early when a query on the graph arrives.  The
+      adaptive controller halves the window after an empty hold and
+      re-doubles it (capped at the configured base) after an absorbing
+      one, so idle graphs stop paying hold latency.
+    * ``starvation_limit`` — fairness: a runnable request passed over
+      this many dispatch decisions is dispatched before any other,
+      whatever the policy says, bounding every admitted request's wait
+      in scheduler steps.
     """
 
-    qid: int
-    tenant: int
-    graph: str
-    arrival: float
-    start: float
-    finish: float
-    service_s: float      # simulated cost of resync + invalidation
-    wall_s: float
-    n_inserted: int
-    n_deleted: int
-    n_affected: int       # vertices whose results may have changed
-    invalidated_entries: int
-    retained_entries: int
-    rekeyed_entries: int
-    digest: str           # the store's chained history digest at `version`
-    version: int = 0      # store version this commit advanced the graph to
-    sessions_synced: int = 0  # resident sessions the commit propagated to
-    coalesced: bool = False   # rode along in another update's flush
+    workers: int = 4
+    max_queue: int = 0                 # 0 = unbounded run queue
+    overflow: str = "defer"            # "defer" | "shed"
+    coalesce_window_s: float = 0.01
+    adaptive_window: bool = True
+    slo_query_s: float = 0.5
+    slo_update_s: float = 0.05
+    starvation_limit: int = 64
 
-    @property
-    def latency(self) -> float:
-        return self.finish - self.arrival
-
-
-@dataclass
-class ServeOutcome:
-    """Everything one (workload, scheduler) serving run produced."""
-
-    scheduler: str
-    records: list[QueryRecord]
-    pool_stats: dict
-    wall_clock_s: float
-    aggregates: dict = field(default_factory=dict)
-    update_records: list[UpdateRecord] = field(default_factory=list)
-    graph_versions: dict = field(default_factory=dict)  # name -> (v, digest)
-
-    def digests(self) -> dict[int, str]:
-        """qid -> answer/history digest (scheduler-order independent).
-
-        Covers queries *and* updates: equal dicts prove that every query
-        returned the same bits while observing the same graph version,
-        and that every graph went through the same version history.
-        """
-        d = {r.qid: r.digest for r in self.records}
-        d.update({r.qid: r.digest for r in self.update_records})
-        return d
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.overflow not in ("defer", "shed"):
+            raise ConfigError(f"unknown overflow policy {self.overflow!r}; "
+                              "expected 'defer' or 'shed'")
+        if self.coalesce_window_s < 0:
+            raise ConfigError("coalesce_window_s must be >= 0, got "
+                              f"{self.coalesce_window_s}")
+        if self.slo_query_s <= 0 or self.slo_update_s <= 0:
+            raise ConfigError("SLO bounds must be > 0")
+        if self.starvation_limit < 1:
+            raise ConfigError("starvation_limit must be >= 1, got "
+                              f"{self.starvation_limit}")
 
 
-def answers_identical(a: ServeOutcome, b: ServeOutcome) -> bool:
-    """Did two serving runs produce bit-identical per-query answers —
-    and leave every graph with the same final version history?"""
-    return (a.digests() == b.digests()
-            and a.graph_versions == b.graph_versions)
+def _commit_update_group(store, pool: SessionPool,
+                         group: list[UpdateRequest]
+                         ) -> tuple[list, dict, float]:
+    """Commit a coalesced run of updates for one graph.
 
-
-def _digest(result: Any, version: int) -> str:
-    h = hashlib.sha1()
-    h.update(f"v{version}|".encode())
-    h.update(str(int(result.global_triangles)).encode())
-    for arr in (result.lcc, result.triangles_per_vertex):
-        h.update(b"|")
-        if arr is not None:
-            h.update(np.ascontiguousarray(arr).tobytes())
-    return h.hexdigest()
-
-
-def summarize(records: list[QueryRecord], pool_stats: dict,
-              wall_clock_s: float,
-              update_records: list[UpdateRecord] = (),
-              updates_coalesced: int = 0) -> dict[str, Any]:
-    """Aggregate one serving run into the report row the benches commit."""
-    if not records and not update_records:
-        raise ConfigError("cannot summarize an empty serving run")
-    update_aggs: dict[str, Any] = {"n_updates": len(update_records),
-                                   "updates_coalesced": updates_coalesced}
-    if update_records:
-        ulat = np.array([u.latency for u in update_records])
-        update_aggs.update({
-            "update_latency_mean_s": float(ulat.mean()),
-            "update_latency_p95_s": float(np.percentile(ulat, 95)),
-            "update_service_total_s": float(
-                sum(u.service_s for u in update_records)),
-            "edges_inserted": int(sum(u.n_inserted for u in update_records)),
-            "edges_deleted": int(sum(u.n_deleted for u in update_records)),
-            "invalidated_entries": int(
-                sum(u.invalidated_entries for u in update_records)),
-            "rekeyed_entries": int(
-                sum(u.rekeyed_entries for u in update_records)),
-            "retained_entries_mean": float(np.mean(
-                [u.retained_entries for u in update_records])),
-        })
-    if not records:
-        # A pure-write trace: no query aggregates, but the work done is
-        # still reported rather than thrown away.
-        return {
-            **update_aggs,
-            "n_queries": 0,
-            "makespan_s": float(max(u.finish for u in update_records)),
-            "session_builds": pool_stats["builds"],
-            "session_evictions": pool_stats["evictions"],
-            "session_reuses": pool_stats["reuses"],
-            "wall_clock_s": float(wall_clock_s),
-        }
-    lat = np.array([r.latency for r in records])
-    # Updates share the simulated server clock, so a trace ending in an
-    # update really ends there — makespan covers both record kinds.
-    makespan = max(r.finish for r in (*records, *update_records))
-    return {
-        **update_aggs,
-        "n_queries": len(records),
-        "makespan_s": float(makespan),
-        "throughput_qps": float(len(records) / makespan),
-        "total_service_s": float(sum(r.service_s for r in records)),
-        "latency_mean_s": float(lat.mean()),
-        "latency_p50_s": float(np.percentile(lat, 50)),
-        "latency_p95_s": float(np.percentile(lat, 95)),
-        "latency_max_s": float(lat.max()),
-        "warm_fraction": float(np.mean([r.warm_cache for r in records])),
-        "mean_adj_hit_rate": float(np.mean(
-            [r.adj_hit_rate for r in records if r.adj_hit_rate is not None]
-            or [0.0])),
-        "session_builds": pool_stats["builds"],
-        "session_evictions": pool_stats["evictions"],
-        "session_reuses": pool_stats["reuses"],
-        "wall_clock_s": float(wall_clock_s),
+    Every member advances the store by its own version (the history is
+    per-request, hence scheduler-independent), but the resident resync
+    runs once: the group's operations merge through a single
+    :class:`~repro.dynamic.delta.DeltaBuffer` flush whose last-
+    writer-wins result is pinned equal to the sequential chain, and that
+    one merged delta propagates to every resident session of the graph.
+    Shared by both engines.  Returns ``(store updates, combined outcome
+    fields, simulated service seconds)``.
+    """
+    name = group[0].graph
+    pre_graph = store.graph(name)
+    updates = []
+    for req in group:
+        batch = UpdateBatch.build(req.inserts, req.deletes,
+                                  n=pre_graph.n,
+                                  directed=pre_graph.directed)
+        updates.append(store.apply(name, batch,
+                                   coalesced=len(group) - 1))
+    final = store.graph(name)
+    if len(group) == 1:
+        combined = updates[0].delta
+    else:
+        buffer = DeltaBuffer(pre_graph.n, pre_graph.directed)
+        for req in group:
+            if req.inserts is not None:
+                buffer.insert_edges(req.inserts)
+            if req.deletes is not None:
+                buffer.delete_edges(req.deletes)
+        combined = apply_delta(pre_graph, buffer.freeze(), strict=False)
+        if graph_digest(combined.graph) != graph_digest(final):
+            # Coalesced == sequential is a structural invariant (the
+            # property suite pins it); serving stale resident slices
+            # would be silent corruption, so fail loudly.
+            raise ConfigError(
+                f"coalesced flush for {name!r} diverged from the "
+                "sequential version chain")
+        # Resync resident state to the chain's own head snapshot so
+        # sessions and store share one graph object.
+        combined.graph = final
+    outcomes = [session.sync_to(combined)
+                for _, session in pool.sessions_of(name)]
+    service = max((o.time for o in outcomes), default=0.0)
+    fields = {
+        "n_affected": int(combined.affected.shape[0]),
+        "invalidated_entries": sum(o.invalidated_entries
+                                   for o in outcomes),
+        "retained_entries": sum(o.retained_entries for o in outcomes),
+        "rekeyed_entries": sum(o.rekeyed_entries for o in outcomes),
+        "sessions_synced": len(outcomes),
     }
+    return updates, fields, service
 
 
 class ServingEngine:
-    """Drain workloads against a catalog with one scheduler and one pool."""
+    """Drain workloads against a catalog with one scheduler and one pool.
+
+    The serial oracle: one request at a time, per-graph fences enforced
+    before every pick.  Its digests and version histories define what
+    "correct" means for the cooperative engine.
+    """
 
     def __init__(self, catalog: dict[str, CSRGraph],
                  config: ServeConfig | None = None,
@@ -274,62 +279,9 @@ class ServingEngine:
             return self.store_factory(self.catalog)
         return GraphStore(self.catalog)
 
-    def _commit_updates(self, store: GraphStore, pool: SessionPool,
-                        group: list[UpdateRequest]
-                        ) -> tuple[list, Any, float]:
-        """Commit a coalesced run of updates for one graph.
-
-        Every member advances the store by its own version (the history
-        is per-request, hence scheduler-independent), but the resident
-        resync runs once: the group's operations merge through a single
-        :class:`~repro.dynamic.delta.DeltaBuffer` flush whose last-
-        writer-wins result is pinned equal to the sequential chain, and
-        that one merged delta propagates to every resident session of
-        the graph.  Returns ``(store updates, combined outcome fields,
-        simulated service seconds)``.
-        """
-        name = group[0].graph
-        pre_graph = store.graph(name)
-        updates = []
-        for req in group:
-            batch = UpdateBatch.build(req.inserts, req.deletes,
-                                      n=pre_graph.n,
-                                      directed=pre_graph.directed)
-            updates.append(store.apply(name, batch,
-                                       coalesced=len(group) - 1))
-        final = store.graph(name)
-        if len(group) == 1:
-            combined = updates[0].delta
-        else:
-            buffer = DeltaBuffer(pre_graph.n, pre_graph.directed)
-            for req in group:
-                if req.inserts is not None:
-                    buffer.insert_edges(req.inserts)
-                if req.deletes is not None:
-                    buffer.delete_edges(req.deletes)
-            combined = apply_delta(pre_graph, buffer.freeze(), strict=False)
-            if graph_digest(combined.graph) != graph_digest(final):
-                # Coalesced == sequential is a structural invariant (the
-                # property suite pins it); serving stale resident slices
-                # would be silent corruption, so fail loudly.
-                raise ConfigError(
-                    f"coalesced flush for {name!r} diverged from the "
-                    "sequential version chain")
-            # Resync resident state to the chain's own head snapshot so
-            # sessions and store share one graph object.
-            combined.graph = final
-        outcomes = [session.sync_to(combined)
-                    for _, session in pool.sessions_of(name)]
-        service = max((o.time for o in outcomes), default=0.0)
-        fields = {
-            "n_affected": int(combined.affected.shape[0]),
-            "invalidated_entries": sum(o.invalidated_entries
-                                       for o in outcomes),
-            "retained_entries": sum(o.retained_entries for o in outcomes),
-            "rekeyed_entries": sum(o.rekeyed_entries for o in outcomes),
-            "sessions_synced": len(outcomes),
-        }
-        return updates, fields, service
+    def _commit_updates(self, store, pool: SessionPool,
+                        group: list[UpdateRequest]) -> tuple[list, Any, float]:
+        return _commit_update_group(store, pool, group)
 
     def serve(self, requests: list[QueryRequest]) -> ServeOutcome:
         """Serve every request; returns records + aggregates.
@@ -416,7 +368,7 @@ class ServingEngine:
                     adj_hit_rate=(None if stats is None
                                   else float(stats["hit_rate"])),
                     version=version,
-                    digest=_digest(result, version)))
+                    digest=result_digest(result, version)))
             pool_stats = pool.stats.as_dict()
         wall_clock = time.perf_counter() - t_run
         records.sort(key=lambda r: r.qid)
@@ -430,4 +382,358 @@ class ServingEngine:
                             for name in store.names()})
         outcome.aggregates = summarize(records, pool_stats, wall_clock,
                                        update_records, updates_coalesced)
+        return outcome
+
+
+class _Inflight:
+    """A task occupying a worker until a simulated completion time."""
+
+    __slots__ = ("task", "finish", "worker", "payload")
+
+    def __init__(self, task: Task, finish: float, worker: int, payload):
+        self.task = task
+        self.finish = finish
+        self.worker = worker
+        self.payload = payload
+
+
+class _Holding:
+    """An update-leader task holding its coalescing window open."""
+
+    __slots__ = ("task", "close", "worker", "start")
+
+    def __init__(self, task: Task, close: float, worker: int, start: float):
+        self.task = task
+        self.close = close
+        self.worker = worker
+        self.start = start
+
+
+class AsyncServingEngine(ServingEngine):
+    """Cooperative multi-worker serving on the simulated clock.
+
+    A discrete-event loop multiplexes resumable tasks over ``workers``
+    logical workers.  Each iteration: admit arrivals (applying the
+    backpressure policy), close due coalescing windows, retire due
+    completions, dispatch while workers are free, then advance the
+    clock to the next event.  Dispatch admits only requests the
+    per-(graph, shard-set) fences allow **against everything known** —
+    waiting, deferred, holding and running requests alike — so no task
+    can start ahead of a conflicting earlier-arrival request, which is
+    the whole bit-identity argument: a query's answer depends only on
+    the store version its arrival order dictates, and warm caches
+    change timing, never answers.
+    """
+
+    def __init__(self, catalog: dict[str, CSRGraph],
+                 config: AsyncServeConfig | None = None,
+                 scheduler: Scheduler | None = None,
+                 store_factory=None):
+        super().__init__(catalog, config or AsyncServeConfig(),
+                         scheduler, store_factory)
+        if not isinstance(self.config, AsyncServeConfig):
+            raise ConfigError(
+                "AsyncServingEngine needs an AsyncServeConfig "
+                f"(got {type(self.config).__name__})")
+
+    # -- event-loop state is per-serve(), threaded through explicitly ------
+
+    def serve(self, requests: list[QueryRequest]) -> AsyncServeOutcome:
+        if not requests:
+            raise ConfigError("cannot serve an empty workload")
+        cfg: AsyncServeConfig = self.config
+        scheduler = self.scheduler
+        scheduler.reset()
+        t_run = time.perf_counter()
+        store = self._make_store()
+
+        pending = sorted(requests, key=arrival_order)
+        waiting: list[Task] = []       # admitted, runnable (the run queue)
+        deferred: list[Task] = []      # known, waiting for a queue slot
+        running: list[_Inflight] = []
+        holding: list[_Holding] = []
+        free_workers = list(range(cfg.workers))
+        locks: set = set()             # session keys owned by running queries
+
+        records: list[QueryRecord] = []
+        update_records: list[UpdateRecord] = []
+        rejected: list[RejectRecord] = []
+        updates_coalesced = 0
+        decisions = 0
+        window_s = cfg.coalesce_window_s
+        clock = 0.0
+        last_key = None
+
+        def inflight_requests():
+            """Everything the fence must see beyond the run queue."""
+            return ([t.request for t in deferred]
+                    + [r.task.request for r in running]
+                    + [h.task.request for h in holding])
+
+        def admit() -> bool:
+            """Move due arrivals into the run queue (or shed/defer them)."""
+            nonlocal clock
+            changed = False
+            while pending and pending[0].arrival <= clock:
+                req = pending.pop(0)
+                if cfg.max_queue and len(waiting) >= cfg.max_queue:
+                    if cfg.overflow == "shed":
+                        rejected.append(RejectRecord(
+                            qid=req.qid, tenant=req.tenant, graph=req.graph,
+                            arrival=req.arrival, is_update=req.is_update,
+                            queue_depth=len(waiting)))
+                        changed = True
+                        continue
+                    task = make_task(req)
+                    task.deferred = True
+                    deferred.append(task)
+                else:
+                    waiting.append(make_task(req))
+                # A freshly-arrived query closes any open window on its
+                # graph: the leader must commit before the query can
+                # observe its version, so holding longer only adds
+                # latency without any chance of another rider.
+                if not req.is_update:
+                    for h in holding:
+                        if h.task.request.graph == req.graph:
+                            h.close = min(h.close, clock)
+                changed = True
+            # Refill freed run-queue slots in arrival order.
+            while deferred and (not cfg.max_queue
+                                or len(waiting) < cfg.max_queue):
+                waiting.append(deferred.pop(0))
+                changed = True
+            return changed
+
+        def gather_riders(leader_task: Task) -> list[Task]:
+            """Waiting updates forming a contiguous arrival-order run
+            behind the leader on its graph.
+
+            The run walks every *uncommitted* known same-graph request —
+            waiting, deferred, and other holding leaders — in arrival
+            order and stops at the first one that is not an update
+            sitting in the run queue: riding over a deferred request, a
+            queued query or another open window would reorder its commit
+            or version observation.  If any same-graph request *older*
+            than the leader is still uncommitted (a disjoint-shard
+            leader may overtake one), the merge set is empty — exactly
+            :func:`~repro.serve.scheduler.coalescible_updates`'s gap
+            rule.
+            """
+            leader = leader_task.request
+            uncommitted = (waiting + deferred
+                           + [h.task for h in holding
+                              if h.task is not leader_task])
+            known = sorted(
+                (t for t in uncommitted
+                 if t.request.graph == leader.graph),
+                key=lambda t: arrival_order(t.request))
+            riders = []
+            for t in known:
+                if arrival_order(t.request) < arrival_order(leader):
+                    return []
+                if not t.request.is_update or t not in waiting:
+                    break
+                riders.append(t)
+            return riders
+
+        def close_window(h: _Holding) -> None:
+            """Commit a leader plus whatever riders its window absorbed."""
+            nonlocal updates_coalesced, window_s
+            riders = gather_riders(h.task)
+            for t in riders:
+                waiting.remove(t)
+            h.task.resume([t.request for t in riders])
+            effect = h.task.effect
+            if not isinstance(effect, Commit):  # pragma: no cover - guard
+                raise ConfigError("update task must commit after its hold")
+            t0 = time.perf_counter()
+            group = [effect.leader, *effect.riders]
+            updates, fields, service = _commit_update_group(store, pool,
+                                                            group)
+            wall = time.perf_counter() - t0
+            updates_coalesced += len(riders)
+            if cfg.adaptive_window:
+                window_s = (min(cfg.coalesce_window_s, window_s * 2)
+                            if riders else window_s / 2)
+            finish = h.close + service
+            h.task.resume(Committed(
+                updates=tuple(updates), fields=fields, start=h.start,
+                commit_at=h.close, finish=finish, service_s=service,
+                wall_s=wall, worker=h.worker))
+            # The commit occupies the leader's worker for the resync's
+            # simulated time; riders retire with it.
+            running.append(_Inflight(h.task, finish, h.worker, None))
+
+        def retire(r: _Inflight) -> None:
+            task = r.task
+            if not task.done:  # pragma: no cover - structural guard
+                raise ConfigError("inflight task retired before completion")
+            if task.request.is_update:
+                for rec in task.value:
+                    rec.deferred = task.deferred or rec.deferred
+                    rec.queue_steps = max(rec.queue_steps, task.queue_steps)
+                update_records.extend(task.value)
+            else:
+                rec = task.value
+                rec.deferred = task.deferred
+                rec.queue_steps = task.queue_steps
+                records.append(rec)
+                locks.discard(task.request.session_key)
+                pool.unpin(task.request.session_key)
+            free_workers.append(r.worker)
+            free_workers.sort()
+
+        def dispatchable() -> list[Task]:
+            """Fence-eligible waiting tasks whose resources are free."""
+            eligible = eligible_requests([t.request for t in waiting],
+                                         inflight=inflight_requests())
+            by_qid = {t.request.qid: t for t in waiting}
+            out = []
+            for req in eligible:
+                task = by_qid[req.qid]
+                if req.is_update:
+                    out.append(task)
+                    continue
+                if req.session_key in locks:
+                    continue
+                if not pool.can_admit(req.session_key):
+                    continue
+                out.append(task)
+            return out
+
+        def dispatch() -> bool:
+            """Start runnable tasks while workers are free."""
+            nonlocal decisions, clock, last_key
+            started = False
+            while free_workers:
+                ready = dispatchable()
+                if not ready:
+                    break
+                decisions += 1
+                starved = [t for t in ready
+                           if t.queue_steps >= cfg.starvation_limit]
+                if starved:
+                    # Fairness override: a request passed over too many
+                    # times dispatches before any policy preference.
+                    task = min(starved,
+                               key=lambda t: arrival_order(t.request))
+                else:
+                    by_qid = {t.request.qid: t for t in ready}
+                    picked = scheduler.pick([t.request for t in ready],
+                                            last_key, pool)
+                    task = by_qid[picked.qid]
+                last_key = task.request.session_key
+                for other in ready:
+                    if other is not task:
+                        other.queue_steps += 1
+                waiting.remove(task)
+                worker = free_workers.pop(0)
+                req = task.request
+                if req.is_update:
+                    if not isinstance(task.effect, Hold):  # pragma: no cover
+                        raise ConfigError("update task must hold first")
+                    # Window close: bounded by the adaptive window and
+                    # by the leader's own deadline — a hold never pushes
+                    # the commit past arrival + slo_update_s.
+                    deadline = req.arrival + cfg.slo_update_s
+                    close = clock + max(0.0, min(window_s, deadline - clock))
+                    # An already-waiting query on the graph means no
+                    # rider can be absorbed ahead of it: commit now.
+                    if any(not t.request.is_update
+                           and t.request.graph == req.graph
+                           for t in waiting + deferred):
+                        close = clock
+                    h = _Holding(task, close, worker, clock)
+                    holding.append(h)
+                    if close <= clock:
+                        holding.remove(h)
+                        close_window(h)
+                else:
+                    if not isinstance(task.effect, Acquire):  # pragma: no cover
+                        raise ConfigError("query task must acquire first")
+                    t0 = time.perf_counter()
+                    session, built = pool.acquire(req.session_key)
+                    pool.pin(req.session_key)
+                    locks.add(req.session_key)
+                    task.resume((session, built))
+                    if not isinstance(task.effect, Run):  # pragma: no cover
+                        raise ConfigError("query task must run after acquire")
+                    result = session.run(req.kernel, keep_cache=True)
+                    wall = time.perf_counter() - t0
+                    version = store.version(req.graph).version
+                    finish = clock + float(result.time)
+                    task.resume(Executed(
+                        result=result, version=version, start=clock,
+                        finish=finish, wall_s=wall, worker=worker,
+                        built_session=built))
+                    running.append(_Inflight(task, finish, worker, None))
+                started = True
+            return started
+
+        with SessionPool(store, cfg.session_config,
+                         capacity=cfg.pool_capacity,
+                         policy=cfg.pool_policy) as pool:
+            while pending or waiting or deferred or running or holding:
+                # Fixpoint at the current clock: admissions can unblock
+                # dispatches, completions free workers and locks, closed
+                # windows turn into commits.
+                progress = True
+                while progress:
+                    progress = admit()
+                    due_runs = sorted(
+                        (r for r in running if r.finish <= clock),
+                        key=lambda r: (r.finish, r.task.request.qid))
+                    for r in due_runs:
+                        running.remove(r)
+                        retire(r)
+                        progress = True
+                    due_holds = sorted(
+                        (h for h in holding if h.close <= clock),
+                        key=lambda h: (h.close, h.task.request.qid))
+                    for h in due_holds:
+                        holding.remove(h)
+                        close_window(h)
+                        progress = True
+                    progress = dispatch() or progress
+                if not (pending or waiting or deferred or running
+                        or holding):
+                    break
+                # Advance to the next event on the simulated clock.
+                horizon = [r.finish for r in running]
+                horizon += [h.close for h in holding]
+                if pending:
+                    horizon.append(pending[0].arrival)
+                if not horizon:  # pragma: no cover - structural guard
+                    # Unreachable: the globally earliest waiting request
+                    # is always fence-eligible and, with no task in
+                    # flight, all locks and workers are free.
+                    raise ConfigError("cooperative scheduler deadlock")
+                clock = max(clock, min(horizon))
+            pool_stats = pool.stats.as_dict()
+
+        wall_clock = time.perf_counter() - t_run
+        records.sort(key=lambda r: r.qid)
+        update_records.sort(key=lambda r: r.qid)
+        rejected.sort(key=lambda r: r.qid)
+        outcome = AsyncServeOutcome(
+            scheduler=scheduler.name, records=records,
+            pool_stats=pool_stats, wall_clock_s=wall_clock,
+            update_records=update_records,
+            graph_versions={name: (store.version(name).version,
+                                   store.digest(name))
+                            for name in store.names()},
+            rejected=rejected, workers=cfg.workers, decisions=decisions)
+        aggs = summarize(records, pool_stats, wall_clock,
+                         update_records, updates_coalesced)
+        aggs.update(concurrency_profile(records, update_records))
+        aggs["n_rejected"] = len(rejected)
+        aggs["n_deferred"] = int(sum(r.deferred for r in records)
+                                 + sum(u.deferred for u in update_records
+                                       if not u.coalesced))
+        if records:
+            aggs["query_slo_attainment"] = float(
+                sum(r.latency <= cfg.slo_query_s for r in records)
+                / len(records))
+        outcome.aggregates = aggs
         return outcome

@@ -48,12 +48,13 @@ class PoolStats:
 
 
 class _Entry:
-    __slots__ = ("session", "last_used", "uses")
+    __slots__ = ("session", "last_used", "uses", "pinned")
 
     def __init__(self, session: Session):
         self.session = session
         self.last_used = 0
         self.uses = 0
+        self.pinned = False
 
 
 class SessionPool:
@@ -159,15 +160,47 @@ class SessionPool:
         return entry.session, built
 
     def _evict_one(self) -> None:
+        victims = [k for k, e in self._entries.items() if not e.pinned]
+        if not victims:
+            raise ConfigError(
+                "session pool is full of pinned sessions; admission must "
+                "check can_admit() before acquiring a new key")
         if self.policy == "lfu":
-            victim = min(self._entries,
+            victim = min(victims,
                          key=lambda k: (self._entries[k].uses,
                                         self._entries[k].last_used))
         else:
-            victim = min(self._entries,
+            victim = min(victims,
                          key=lambda k: self._entries[k].last_used)
         self._entries.pop(victim).session.close()
         self.stats.evictions += 1
+
+    # -- concurrency support (the cooperative engine) -----------------------
+    def pin(self, key: SessionKey) -> None:
+        """Exempt a resident session from eviction while a task uses it.
+
+        The cooperative engine pins a key for the lifetime of the query
+        running on it: a concurrent acquisition of a *different* key
+        must never evict a session whose simulated run is still in
+        flight.  Pins are exclusive per key because the engine also
+        serializes same-key queries (one resident cluster serves one
+        query at a time).
+        """
+        self._entries[key].pinned = True
+
+    def unpin(self, key: SessionKey) -> None:
+        """Release a pin (idempotent; the key may have been evicted)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.pinned = False
+
+    def can_admit(self, key: SessionKey) -> bool:
+        """Could :meth:`acquire` serve this key right now without
+        touching a pinned session?  Resident keys always admit; a build
+        needs either spare capacity or an unpinned victim."""
+        if key in self._entries or len(self._entries) < self.capacity:
+            return True
+        return any(not e.pinned for e in self._entries.values())
 
     def evict_where(self, predicate: Callable[[SessionKey], bool]) -> int:
         """Force-close every resident session whose key matches.

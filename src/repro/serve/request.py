@@ -113,6 +113,13 @@ class UpdateRequest:
             raise ConfigError(f"arrival must be >= 0, got {self.arrival}")
         if self.qid < 0:
             raise ConfigError(f"qid must be >= 0, got {self.qid}")
+        # Normalize at the source: an empty shard annotation means "this
+        # batch touches no shard", which still commits a logical version
+        # and therefore must keep the conservative whole-graph fence.
+        # Storing it as None makes every downstream consumer — not just
+        # the fence's truthiness guard — see the two cases identically.
+        if self.shards is not None and not self.shards:
+            object.__setattr__(self, "shards", None)
 
     @property
     def session_key(self) -> SessionKey:

@@ -36,6 +36,7 @@ from __future__ import annotations
 from repro.serve.pool import SessionPool
 from repro.serve.request import QueryRequest, SessionKey, arrival_order
 from repro.utils.errors import ConfigError
+from repro.utils.rng import derive_seed, make_rng
 
 
 def _shard_set(req):
@@ -43,7 +44,14 @@ def _shard_set(req):
 
     Queries have no ``shards`` attribute (a kernel reads the entire
     graph), and an un-annotated or empty-set update conservatively
-    fences everything — both resolve to ``None``.
+    fences everything — both resolve to ``None``.  The ``or None`` guard
+    is deliberately redundant with the normalization in
+    :meth:`~repro.serve.request.UpdateRequest.__post_init__`: a
+    hand-built request carrying ``shards=frozenset()`` through
+    ``object.__setattr__`` or a duck-typed stand-in must still get the
+    whole-graph fence here — an empty set means "touches nothing", and
+    letting it overtake a concurrent query would desynchronize that
+    query's version observation from its arrival order.
     """
     return getattr(req, "shards", None) or None
 
@@ -61,12 +69,12 @@ def _conflicts(a, b) -> bool:
     return sa is None or sb is None or bool(sa & sb)
 
 
-def eligible_requests(queued: list) -> list:
+def eligible_requests(queued: list, inflight: list = ()) -> list:
     """The subset of queued requests the update fences allow.
 
     Per **graph** — not per session key: an update advances the graph's
     one store version, visible to every variant's resident session — a
-    request is admitted iff no *conflicting* request queued ahead of it
+    request is admitted iff no *conflicting* request ahead of it
     (arrival order) exists.  Without shard annotations that reduces to
     the classic per-graph fence: queries flow up to the first queued
     update, an update is admitted only as its graph's earliest queued
@@ -74,18 +82,30 @@ def eligible_requests(queued: list) -> list:
     .UpdateRequest.shards`), updates touching disjoint shard sets of one
     graph stop conflicting and may overtake each other — per-shard
     version chains are order-independent across disjoint commits, so
-    answers stay scheduler-independent.  Each graph's earliest request
-    conflicts with nothing ahead of it, so the result is never empty for
-    a non-empty queue.
+    answers stay scheduler-independent.
+
+    ``inflight`` widens the conflict universe without widening the
+    candidate set: the cooperative engine passes the requests currently
+    executing, holding a coalescing window, or deferred by admission
+    control.  They block conflicting younger candidates exactly like
+    queued requests, but are never returned.  For the serial engine
+    (``inflight=()``), each graph's earliest request conflicts with
+    nothing ahead of it, so the result is never empty for a non-empty
+    queue.
     """
     by_graph: dict[str, list] = {}
     for req in queued:
         by_graph.setdefault(req.graph, []).append(req)
+    blockers: dict[str, list] = {}
+    for req in inflight:
+        blockers.setdefault(req.graph, []).append(req)
     out = []
-    for reqs in by_graph.values():
+    for graph, reqs in by_graph.items():
         reqs.sort(key=arrival_order)
         for i, req in enumerate(reqs):
-            if not any(_conflicts(req, ahead) for ahead in reqs[:i]):
+            ahead = reqs[:i] + [b for b in blockers.get(graph, ())
+                                if arrival_order(b) < arrival_order(req)]
+            if not any(_conflicts(req, other) for other in ahead):
                 out.append(req)
     return out
 
@@ -194,10 +214,40 @@ class CacheAffinityScheduler(Scheduler):
         return min(by_key[key], key=arrival_order)
 
 
+class InterleaveScheduler(Scheduler):
+    """Pick uniformly at random (seeded) among the eligible requests.
+
+    The adversary of the parity test battery: every ``pick`` is a
+    coin-flip over whatever the fences admit, so driving one workload
+    through many seeds explores many cooperative interleavings — and
+    every one of them must produce the serial oracle's digests and
+    version histories.  It deliberately optimizes nothing; any policy
+    an operator would actually deploy sits between this and FIFO, so
+    pinning the extremes pins the space.
+    """
+
+    name = "interleave"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = make_rng(derive_seed(seed, "interleave-sched"))
+
+    def reset(self) -> None:
+        self._rng = make_rng(derive_seed(self.seed, "interleave-sched"))
+
+    def pick(self, queued: list[QueryRequest], last_key: SessionKey | None,
+             pool: SessionPool) -> QueryRequest:
+        if not queued:
+            raise ConfigError("pick() called with an empty queue")
+        ordered = sorted(queued, key=arrival_order)
+        return ordered[int(self._rng.integers(len(ordered)))]
+
+
 #: Schedulers selectable by name (CLI, analysis, tests).
 SCHEDULERS = {
     FIFOScheduler.name: FIFOScheduler,
     CacheAffinityScheduler.name: CacheAffinityScheduler,
+    InterleaveScheduler.name: InterleaveScheduler,
 }
 
 

@@ -108,6 +108,16 @@ class WorkloadSpec:
     update_mix: float = 0.0             # fraction of requests that are updates
     update_edges: int = 8               # edges per update batch
     update_delete_fraction: float = 0.25  # of each batch, deletes vs inserts
+    #: Arrival process: "poisson" (the default, exponential gaps),
+    #: "bursty" (Poisson gaps with randomly-placed episodes compressed
+    #: ``burst_factor``-fold — the tail-latency regime the async bench
+    #: gates on), or "flash" (one contiguous flash crowd: a
+    #: ``burst_fraction`` block of the trace arrives ``burst_factor``×
+    #: faster *and* is re-aimed at the hottest tenant's home, the
+    #: one-session-key stampede the fairness tests need).
+    arrival_mode: str = "poisson"
+    burst_factor: float = 8.0           # gap compression inside an episode
+    burst_fraction: float = 0.3         # of requests inside episodes
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -134,10 +144,38 @@ class WorkloadSpec:
             raise ConfigError(
                 "update_delete_fraction must be in [0, 1], got "
                 f"{self.update_delete_fraction}")
+        if self.arrival_mode not in ("poisson", "bursty", "flash"):
+            raise ConfigError(
+                f"unknown arrival_mode {self.arrival_mode!r}; expected "
+                "'poisson', 'bursty' or 'flash'")
+        if self.burst_factor <= 1.0:
+            raise ConfigError(
+                f"burst_factor must be > 1, got {self.burst_factor}")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ConfigError(
+                f"burst_fraction must be in (0, 1), got "
+                f"{self.burst_fraction}")
 
     def uniform(self) -> "WorkloadSpec":
         """The same workload with popularity skew removed (the contrast)."""
         return replace(self, tenant_skew=0.0, graph_skew=0.0)
+
+    def bursty(self, factor: float = 8.0,
+               fraction: float = 0.3) -> "WorkloadSpec":
+        """The same workload under episodic arrival bursts.
+
+        Mean load is unchanged outside the episodes; inside them the
+        inter-arrival gaps shrink ``factor``-fold, which is what drives
+        a queue — and therefore p99 — without touching what is asked.
+        """
+        return replace(self, arrival_mode="bursty", burst_factor=factor,
+                       burst_fraction=fraction)
+
+    def flash_crowd(self, factor: float = 50.0,
+                    fraction: float = 0.4) -> "WorkloadSpec":
+        """One contiguous stampede onto the hottest tenant's session key."""
+        return replace(self, arrival_mode="flash", burst_factor=factor,
+                       burst_fraction=fraction)
 
     def delete_heavy(self, delete_fraction: float = 0.8) -> "WorkloadSpec":
         """A deletion-dominated variant: sustained shrinkage traffic.
@@ -193,6 +231,24 @@ def generate_workload(spec: WorkloadSpec,
     arrivals = np.cumsum(rng.exponential(1.0 / spec.arrival_rate, size=n))
     tenants = _choice(rng, zipf_weights(spec.n_tenants, spec.tenant_skew), n)
     kernel_ids = _choice(rng, zipf_weights(len(spec.kernels), 0.0), n)
+
+    # Non-Poisson arrival modes reshape the *gaps* after the base draws,
+    # on a separate derived stream — a "poisson" spec therefore produces
+    # exactly the trace it always did, bit for bit.
+    if spec.arrival_mode != "poisson":
+        burst_rng = make_rng(derive_seed(spec.seed, "serve-bursts"))
+        gaps = np.diff(arrivals, prepend=0.0)
+        if spec.arrival_mode == "bursty":
+            in_burst = burst_rng.random(n) < spec.burst_fraction
+        else:  # flash: one contiguous stampede, re-aimed at one key
+            k = max(1, int(round(spec.burst_fraction * n)))
+            i0 = int(burst_rng.integers(0, n - k + 1))
+            in_burst = np.zeros(n, dtype=bool)
+            in_burst[i0:i0 + k] = True
+            tenants = tenants.copy()
+            tenants[in_burst] = 0  # Zipf rank 0 — the hottest tenant
+        gaps[in_burst] /= spec.burst_factor
+        arrivals = np.cumsum(gaps)
 
     is_update = np.zeros(n, dtype=bool)
     upd_rng = None

@@ -169,10 +169,27 @@ class ShardedGraphStore:
                 f"graph {name!r} is mid-commit: the cross-shard barrier "
                 "fences readers until every touched shard has landed")
 
-    def version(self, name: str) -> GraphVersion:
-        """The logical version: how many commits ``name`` has taken."""
+    def fenced(self, name: str) -> bool:
+        """Is ``name`` mid-commit right now (readers fenced)?
+
+        The non-blocking probe: a cooperative reader can ask instead of
+        catching the fence's :class:`~repro.utils.errors.ConfigError`,
+        and fall back to a :meth:`graph` ``stable=True`` read.
+        """
         self._check_name(name)
-        self._check_fence(name)
+        return name in self._fenced
+
+    def version(self, name: str, *, stable: bool = False) -> GraphVersion:
+        """The logical version: how many commits ``name`` has taken.
+
+        With ``stable=True`` the read never blocks on the commit
+        barrier: the logical count only advances *after* the barrier
+        drops, so mid-commit it is exactly the latest committed
+        version — the one a ``stable`` graph read serves.
+        """
+        self._check_name(name)
+        if not stable:
+            self._check_fence(name)
         return GraphVersion(name, self._counts[name])
 
     def version_vector(self, name: str) -> tuple[int, ...]:
@@ -182,7 +199,8 @@ class ShardedGraphStore:
         return tuple(store.version(name).version
                      for store in self._shards[name])
 
-    def graph(self, name: str, version: int | None = None) -> CSRGraph:
+    def graph(self, name: str, version: int | None = None, *,
+              stable: bool = False) -> CSRGraph:
         """The logical snapshot: the head, or any retained ``version``.
 
         Historical versions are **assembled from the shard chains**: the
@@ -190,8 +208,18 @@ class ShardedGraphStore:
         version ``v`` (the number of commits among the first ``v`` that
         touched the shard), so the sharded store time-travels without
         retaining any logical snapshot but the head.
+
+        ``stable=True`` makes the head read **non-blocking**: mid-commit
+        it returns the last *committed* head instead of raising — the
+        head reference is only swapped after the cross-shard barrier
+        drops, so what a fenced reader sees is a consistent pre-commit
+        snapshot (never a half-applied mix of shards).  Historical reads
+        assemble from the shard chains, which *are* mid-mutation during
+        a commit, so they always honor the fence.
         """
         self._check_name(name)
+        if version is None and stable:
+            return self._heads[name]
         self._check_fence(name)
         count = self._counts[name]
         if version is None or version == count:

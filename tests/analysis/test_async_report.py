@@ -1,0 +1,177 @@
+"""The async-serving bench report and its regression gates."""
+
+import copy
+
+import pytest
+
+from repro.analysis.async_serve import (
+    ASYNC_REPORT_KEYS,
+    MIN_ASYNC_SPEEDUP,
+    async_trajectory_row,
+    check_async_against_baseline,
+    check_async_report,
+    one_off_async_run,
+    run_async_bench,
+    write_async_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_async_bench(quick=True)
+
+
+class TestQuickRun:
+    def test_schema_and_gates(self, quick_report):
+        for key in ASYNC_REPORT_KEYS:
+            assert key in quick_report
+        assert check_async_report(quick_report) == []
+
+    def test_steady_row(self, quick_report):
+        steady = quick_report["steady"]
+        assert steady["results_identical"] is True
+        assert steady["p99_ratio"] <= 1.1
+        assert steady["p99_async_s"] > 0
+
+    def test_burst_row(self, quick_report):
+        burst = quick_report["burst"]
+        assert burst["results_identical"] is True
+        assert burst["throughput_ratio"] >= MIN_ASYNC_SPEEDUP
+        assert burst["disjoint_updates"] > 0
+        assert burst["async"]["overlap_fraction"] > 0
+        assert burst["async"]["max_concurrency"] > 1
+
+    def test_backpressure_row(self, quick_report):
+        bp = quick_report["backpressure"]
+        assert bp["defer_identical"] is True
+        assert bp["shed_deterministic"] is True
+        assert bp["rejected_absent_from_digests"] is True
+        assert bp["deferred_keep_arrival_accounting"] is True
+        assert bp["n_rejected"] > 0
+        assert bp["n_deferred"] > 0
+
+    def test_interleavings_row(self, quick_report):
+        inter = quick_report["interleavings"]
+        assert inter["all_identical"] is True
+        assert len(inter["seeds"]) >= 2
+        assert set(inter["identical"]) == {str(s) for s in inter["seeds"]}
+        assert inter["overlap_fraction_min"] > 0
+
+    def test_write_round_trip(self, quick_report, tmp_path):
+        from repro.analysis.benchreport import load_report
+
+        path = tmp_path / "async.json"
+        write_async_report(quick_report, str(path))
+        loaded = load_report(str(path))
+        assert set(loaded) >= set(ASYNC_REPORT_KEYS)
+        assert loaded["burst"]["throughput_ratio"] == pytest.approx(
+            quick_report["burst"]["throughput_ratio"])
+
+    def test_passes_against_itself_as_baseline(self, quick_report):
+        assert check_async_against_baseline(quick_report, quick_report) == []
+
+    def test_trajectory_row_fields(self, quick_report):
+        row = async_trajectory_row(quick_report)
+        assert row["kind"] == "async"
+        assert row["burst_speedup"] >= MIN_ASYNC_SPEEDUP
+        assert row["interleavings_identical"] is True
+        assert row["date"]
+
+
+class TestGates:
+    def test_bit_identity_is_non_negotiable(self, quick_report):
+        for scenario in ("steady", "burst"):
+            bad = copy.deepcopy(quick_report)
+            bad[scenario]["results_identical"] = False
+            assert any("diverged" in p for p in check_async_report(bad))
+
+    def test_p99_ceiling(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["steady"]["p99_ratio"] = 2.0
+        assert any("ceiling" in p for p in check_async_report(bad))
+
+    def test_throughput_floor(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["burst"]["throughput_ratio"] = 1.0
+        assert any("floor" in p for p in check_async_report(bad))
+
+    def test_overlap_required(self, quick_report):
+        """A 'speedup' with no measured overlap is an accounting bug."""
+        bad = copy.deepcopy(quick_report)
+        bad["burst"]["async"]["overlap_fraction"] = 0.0
+        assert any("no overlap" in p for p in check_async_report(bad))
+
+    def test_backpressure_booleans_required(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["backpressure"]["shed_deterministic"] = False
+        assert any("shed_deterministic" in p
+                   for p in check_async_report(bad))
+
+    def test_interleaving_battery_required(self, quick_report):
+        bad = copy.deepcopy(quick_report)
+        bad["interleavings"]["all_identical"] = False
+        bad["interleavings"]["identical"]["3"] = False
+        assert any("diverged" in p for p in check_async_report(bad))
+        short = copy.deepcopy(quick_report)
+        short["interleavings"]["seeds"] = [0]
+        assert any("battery" in p for p in check_async_report(short))
+
+    def test_baseline_relative_speedup(self, quick_report):
+        inflated = copy.deepcopy(quick_report)
+        inflated["burst"]["throughput_ratio"] *= 1000
+        problems = check_async_against_baseline(quick_report, inflated)
+        assert any("fell below" in p for p in problems)
+
+    def test_wrong_baseline_kind_flagged(self, quick_report):
+        problems = check_async_against_baseline(quick_report,
+                                                {"quick": True})
+        assert any("BENCH_async.json" in p for p in problems)
+
+    def test_bad_tolerance_rejected(self, quick_report):
+        with pytest.raises(ValueError):
+            check_async_against_baseline(quick_report, quick_report,
+                                         tolerance=0.0)
+
+    def test_write_refuses_failing_report(self, quick_report, tmp_path):
+        bad = copy.deepcopy(quick_report)
+        bad["burst"]["results_identical"] = False
+        with pytest.raises(ValueError):
+            write_async_report(bad, str(tmp_path / "bad.json"))
+        write_async_report(bad, str(tmp_path / "ungated.json"), gate=False)
+
+
+class TestCommittedBaseline:
+    def test_committed_report_passes_its_own_gate(self):
+        """The checked-in BENCH_async.json must satisfy the absolute
+        gate — CI compares fresh quick runs against it."""
+        import json
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_async.json")
+        with open(path) as fh:
+            report = json.load(fh)
+        assert report["quick"] is False
+        assert check_async_report(report) == []
+
+
+class TestOneOff:
+    def test_one_off_run_fields(self):
+        payload = one_off_async_run(n_queries=24, arrival_rate=2000.0,
+                                    n_tenants=4, update_mix=0.25,
+                                    workers=3, scale=0.2, seed=1)
+        assert payload["results_identical"] is True
+        assert payload["n_rejected"] == 0
+        assert payload["async"]["max_concurrency"] >= 1
+        assert payload["serial"]["throughput_qps"] > 0
+
+    def test_one_off_shed_reports_none_identity(self):
+        """With requests shed the oracle comparison is meaningless —
+        the payload says so instead of comparing unequal sets."""
+        payload = one_off_async_run(n_queries=32, arrival_rate=8000.0,
+                                    n_tenants=4, update_mix=0.2,
+                                    workers=1, max_queue=2,
+                                    overflow="shed", arrival_mode="flash",
+                                    scale=0.2, seed=2)
+        assert payload["n_rejected"] > 0
+        assert payload["results_identical"] is None

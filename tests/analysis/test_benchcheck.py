@@ -147,6 +147,9 @@ class TestTrajectory:
             if row.get("kind") == "shard":
                 assert row["read_scaling"] > 0
                 assert row["failover_digests_identical"] is True
+            elif row.get("kind") == "async":
+                assert row["burst_speedup"] > 0
+                assert row["interleavings_identical"] is True
             else:
                 assert "min_warm_speedups" in row
 

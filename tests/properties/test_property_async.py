@@ -1,0 +1,96 @@
+"""Property tests: the cooperative engine is indistinguishable from serial.
+
+Random small workloads (size, rate, read/write mix, arrival mode) crossed
+with random cooperative interleavings (worker counts, seeded step-choice
+shuffles via :class:`~repro.serve.scheduler.InterleaveScheduler`, bounded
+run queues): answer digests, per-graph version histories and final store
+digests always equal the serial :class:`~repro.serve.engine.ServingEngine`
+oracle's — the async analogue of ``test_property_sharded.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.engine import (
+    AsyncServeConfig,
+    AsyncServingEngine,
+    ServeConfig,
+    ServingEngine,
+    answers_identical,
+)
+from repro.serve.scheduler import FIFOScheduler, InterleaveScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.shardstore import ShardedGraphStore, annotate_shard_sets
+
+# One small catalog for every example: engines never mutate the input
+# graphs (commits produce fresh heads inside each engine's own store).
+CATALOG = default_catalog(scale=0.2)
+
+
+@st.composite
+def serve_cases(draw):
+    """A random workload spec crossed with a random interleaving."""
+    spec = WorkloadSpec(
+        n_queries=draw(st.integers(min_value=6, max_value=24)),
+        arrival_rate=draw(st.sampled_from([500.0, 2000.0, 8000.0])),
+        n_tenants=draw(st.integers(min_value=2, max_value=6)),
+        graphs=tuple(CATALOG),
+        kernels=draw(st.sampled_from([("lcc",), ("lcc", "tc")])),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        update_mix=draw(st.sampled_from([0.0, 0.2, 0.4])))
+    mode = draw(st.sampled_from(["poisson", "bursty", "flash"]))
+    if mode == "bursty":
+        spec = spec.bursty(factor=10.0, fraction=0.4)
+    elif mode == "flash":
+        spec = spec.flash_crowd()
+    workers = draw(st.integers(min_value=1, max_value=4))
+    interleave_seed = draw(st.integers(min_value=0, max_value=2**31))
+    max_queue = draw(st.sampled_from([0, 0, 3]))  # mostly unbounded
+    return spec, workers, interleave_seed, max_queue
+
+
+def _outcomes(spec, workers, interleave_seed, max_queue,
+              store_factory=None, annotate=False):
+    requests = generate_workload(spec, CATALOG)
+    if annotate:
+        requests = annotate_shard_sets(requests, store_factory(CATALOG))
+    serial = ServingEngine(
+        CATALOG, ServeConfig(nranks=2, threads=1, pool_capacity=2),
+        FIFOScheduler(), store_factory=store_factory).serve(requests)
+    coop = AsyncServingEngine(
+        CATALOG,
+        AsyncServeConfig(nranks=2, threads=1, pool_capacity=2,
+                         workers=workers, max_queue=max_queue,
+                         overflow="defer"),
+        InterleaveScheduler(seed=interleave_seed),
+        store_factory=store_factory).serve(requests)
+    return requests, serial, coop
+
+
+@given(serve_cases())
+@settings(max_examples=25, deadline=None)
+def test_cooperative_equals_serial_oracle(case):
+    requests, serial, coop = _outcomes(*case)
+    # Bit-identical answers observing identical versions, and identical
+    # per-graph version histories (count + chained digest).
+    assert answers_identical(serial, coop)
+    assert coop.graph_versions == serial.graph_versions
+    # Every request retired exactly once, none invented or dropped.
+    served = sorted([r.qid for r in coop.records]
+                    + [u.qid for u in coop.update_records])
+    assert served == sorted(r.qid for r in requests)
+
+
+@given(serve_cases())
+@settings(max_examples=10, deadline=None)
+def test_cooperative_equals_serial_oracle_sharded(case):
+    """Same law over the fenced sharded store with annotated updates."""
+    spec, workers, interleave_seed, max_queue = case
+
+    def sharded(c):
+        return ShardedGraphStore(c, nshards=2, nranks=2)
+
+    _, serial, coop = _outcomes(spec, workers, interleave_seed, max_queue,
+                                store_factory=sharded, annotate=True)
+    assert answers_identical(serial, coop)
+    assert coop.graph_versions == serial.graph_versions

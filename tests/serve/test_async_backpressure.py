@@ -1,0 +1,120 @@
+"""Admission control: deterministic shedding, defer parity, accounting."""
+
+import pytest
+
+from repro.serve.engine import (
+    AsyncServeConfig,
+    AsyncServingEngine,
+    answers_identical,
+)
+from repro.serve.scheduler import FIFOScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def flash_requests(catalog):
+    # A flash crowd: half the workload stampedes one tenant's graph.
+    return generate_workload(
+        WorkloadSpec(n_queries=40, arrival_rate=4000.0, n_tenants=8,
+                     graphs=tuple(catalog), kernels=("lcc",), seed=11,
+                     update_mix=0.2).flash_crowd(), catalog)
+
+
+def _cfg(**kw):
+    return AsyncServeConfig(nranks=4, threads=2, pool_capacity=3, **kw)
+
+
+@pytest.fixture(scope="module")
+def unbounded(catalog, flash_requests):
+    return AsyncServingEngine(catalog, _cfg(workers=4),
+                              FIFOScheduler()).serve(flash_requests)
+
+
+@pytest.fixture(scope="module")
+def shed_outcome(catalog, flash_requests):
+    return AsyncServingEngine(
+        catalog, _cfg(workers=2, max_queue=4, overflow="shed"),
+        FIFOScheduler()).serve(flash_requests)
+
+
+class TestShed:
+    def test_queue_full_rejection_deterministic(self, catalog,
+                                                flash_requests,
+                                                shed_outcome):
+        """Shedding happens on the simulated clock: replays are exact."""
+        again = AsyncServingEngine(
+            catalog, _cfg(workers=2, max_queue=4, overflow="shed"),
+            FIFOScheduler()).serve(flash_requests)
+        assert again.rejected_qids() == shed_outcome.rejected_qids()
+        assert again.digests() == shed_outcome.digests()
+
+    def test_something_actually_shed(self, shed_outcome):
+        assert shed_outcome.rejected
+        assert shed_outcome.aggregates["n_rejected"] == len(
+            shed_outcome.rejected)
+
+    def test_rejected_never_served_never_digested(self, shed_outcome,
+                                                  flash_requests):
+        shed = shed_outcome.rejected_qids()
+        assert not shed & set(shed_outcome.digests())
+        served = ({r.qid for r in shed_outcome.records}
+                  | {u.qid for u in shed_outcome.update_records})
+        assert not shed & served
+        assert shed | served == {r.qid for r in flash_requests}
+
+    def test_reject_records_carry_arrival_state(self, shed_outcome,
+                                                flash_requests):
+        by_qid = {r.qid: r for r in flash_requests}
+        for rej in shed_outcome.rejected:
+            req = by_qid[rej.qid]
+            assert rej.arrival == req.arrival
+            assert rej.is_update == req.is_update
+            assert rej.queue_depth >= 4  # the bound that triggered it
+
+
+class TestDefer:
+    def test_defer_keeps_full_parity(self, catalog, flash_requests,
+                                     unbounded):
+        """A bounded queue delays admission but answers are unchanged."""
+        deferred = AsyncServingEngine(
+            catalog, _cfg(workers=4, max_queue=5, overflow="defer"),
+            FIFOScheduler()).serve(flash_requests)
+        assert answers_identical(unbounded, deferred)
+        assert not deferred.rejected
+        assert deferred.aggregates["n_deferred"] > 0
+
+    def test_deferred_keep_arrival_order_latency_accounting(
+            self, catalog, flash_requests):
+        """Latency counts from the true arrival, not delayed admission."""
+        outcome = AsyncServingEngine(
+            catalog, _cfg(workers=2, max_queue=3, overflow="defer"),
+            FIFOScheduler()).serve(flash_requests)
+        by_qid = {r.qid: r for r in flash_requests}
+        deferred = [r for r in outcome.records if r.deferred]
+        assert deferred  # the bound was actually hit
+        for rec in outcome.records:
+            assert rec.arrival == by_qid[rec.qid].arrival
+            assert rec.start >= rec.arrival
+            assert rec.latency == pytest.approx(rec.finish - rec.arrival)
+
+    def test_deferred_promoted_in_arrival_order(self, catalog,
+                                                flash_requests):
+        """Freed slots refill oldest-first: a deferred request never
+        starts after a *later-arriving* deferred request on the same
+        session key (FIFO policy, one lock per key)."""
+        outcome = AsyncServingEngine(
+            catalog, _cfg(workers=2, max_queue=3, overflow="defer"),
+            FIFOScheduler()).serve(flash_requests)
+        by_key = {}
+        for rec in sorted((r for r in outcome.records if r.deferred),
+                          key=lambda r: (r.arrival, r.qid)):
+            key = (rec.tenant, rec.graph, rec.kernel)
+            prev = by_key.get(key)
+            if prev is not None:
+                assert rec.start >= prev.start - 1e-12
+            by_key[key] = rec

@@ -30,8 +30,8 @@ def pool():
 
 
 class TestRegistry:
-    def test_both_schedulers_registered(self):
-        assert set(SCHEDULERS) == {"fifo", "affinity"}
+    def test_all_schedulers_registered(self):
+        assert set(SCHEDULERS) == {"fifo", "affinity", "interleave"}
 
     def test_make_scheduler_by_name(self):
         assert isinstance(make_scheduler("fifo"), FIFOScheduler)

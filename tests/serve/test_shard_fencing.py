@@ -69,6 +69,68 @@ class TestShardSetFence:
         assert set(eligible_requests([u0, q1])) == {u0, q1}
 
 
+class TestEmptyShardSetRegression:
+    """``shards=frozenset()`` must fence like an unannotated update.
+
+    An empty annotation means "this batch touches no shard" — it still
+    commits a logical version, so treating it as "fences nothing" would
+    let it overtake a concurrent query and desynchronize that query's
+    version observation from its arrival order.
+    """
+
+    def test_constructor_normalizes_empty_set_to_none(self):
+        req = UpdateRequest(arrival=0.0, qid=0, tenant=0, graph="g",
+                            shards=frozenset())
+        assert req.shards is None
+
+    def test_with_shards_keeps_empty_as_none(self):
+        assert update(0.0, 0).with_shards(frozenset()).shards is None
+        assert update(0.0, 0).with_shards([]).shards is None
+        assert update(0.0, 0).with_shards({1}).shards == frozenset({1})
+
+    def test_forced_empty_set_still_gets_whole_graph_fence(self):
+        """Even bypassing normalization (object.__setattr__ on the
+        frozen dataclass), the fence's own guard must hold."""
+        u0 = update(0.0, 0)
+        object.__setattr__(u0, "shards", frozenset())
+        q1 = query(1.0, 1)
+        u2 = update(2.0, 2, shards={3})
+        eligible = eligible_requests([u2, q1, u0])
+        assert eligible == [u0]
+        # And symmetrically: it never overtakes an earlier query.
+        u3 = update(2.0, 3)
+        object.__setattr__(u3, "shards", frozenset())
+        assert u3 not in eligible_requests([query(1.0, 4), u3])
+
+
+class TestInflightFence:
+    """The cooperative engine widens the conflict universe with the
+    requests already executing/holding; they block but are never
+    returned."""
+
+    def test_inflight_blocks_younger_conflicts(self):
+        u0 = update(0.0, 0, shards={0})          # in flight
+        q1 = query(1.0, 1)
+        u2 = update(2.0, 2, shards={3})
+        assert eligible_requests([q1, u2], inflight=[u0]) == []
+
+    def test_inflight_never_blocks_older_requests(self):
+        u1 = update(1.0, 1, shards={0})          # in flight, younger
+        q0 = query(0.0, 0)
+        assert eligible_requests([q0], inflight=[u1]) == [q0]
+
+    def test_disjoint_inflight_does_not_block(self):
+        u0 = update(0.0, 0, shards={0})          # in flight
+        u1 = update(1.0, 1, shards={3})
+        assert eligible_requests([u1], inflight=[u0]) == [u1]
+
+    def test_inflight_requests_not_returned(self):
+        u0 = update(0.0, 0, shards={0})
+        out = eligible_requests([update(1.0, 1, shards={1})],
+                                inflight=[u0])
+        assert u0 not in out
+
+
 class TestCoalescingUnderShardFences:
     def test_admitted_non_leader_coalesces_nothing(self):
         """Shard fencing can admit an update that does not lead its

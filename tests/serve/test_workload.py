@@ -107,3 +107,59 @@ class TestRequestModel:
             WorkloadSpec(arrival_rate=0.0)
         with pytest.raises(ConfigError):
             WorkloadSpec(graphs=())
+
+
+class TestArrivalModes:
+    def test_poisson_trace_unchanged_by_the_new_knobs(self):
+        """The burst machinery must not perturb the default mode: a
+        "poisson" spec reproduces the pre-knob trace bit for bit."""
+        base = generate_workload(SPEC)
+        again = generate_workload(
+            WorkloadSpec(n_queries=400, arrival_rate=500.0, n_tenants=10,
+                         seed=3, arrival_mode="poisson",
+                         burst_factor=99.0, burst_fraction=0.9))
+        assert [(r.qid, r.arrival, r.tenant, r.graph) for r in base] == \
+               [(r.qid, r.arrival, r.tenant, r.graph) for r in again]
+
+    def test_bursty_compresses_gaps_only_inside_episodes(self):
+        base = generate_workload(SPEC)
+        burst = generate_workload(SPEC.bursty(factor=8.0, fraction=0.3))
+        base_gaps = np.diff([r.arrival for r in base], prepend=0.0)
+        burst_gaps = np.diff([r.arrival for r in burst], prepend=0.0)
+        compressed = np.isclose(burst_gaps, base_gaps / 8.0)
+        untouched = np.isclose(burst_gaps, base_gaps)
+        assert np.all(compressed | untouched)
+        assert compressed.any() and untouched.any()
+        # Identity otherwise: same tenants, graphs, qids.
+        assert [(r.qid, r.tenant, r.graph) for r in base] == \
+               [(r.qid, r.tenant, r.graph) for r in burst]
+
+    def test_flash_crowd_is_contiguous_and_retargeted(self):
+        base = generate_workload(SPEC)
+        flash = generate_workload(SPEC.flash_crowd(factor=50.0,
+                                                   fraction=0.4))
+        base_gaps = np.diff([r.arrival for r in base], prepend=0.0)
+        gaps = np.diff([r.arrival for r in flash], prepend=0.0)
+        hit = np.flatnonzero(np.isclose(gaps, base_gaps / 50.0)
+                             & ~np.isclose(base_gaps, 0.0))
+        assert len(hit) >= int(0.3 * len(base))
+        # One contiguous stampede...
+        assert np.all(np.diff(hit) == 1)
+        # ...aimed at the hottest tenant (Zipf rank 0).
+        assert all(flash[i].tenant == 0 for i in hit)
+
+    def test_arrivals_stay_sorted_in_every_mode(self):
+        for spec in (SPEC.bursty(), SPEC.flash_crowd()):
+            arrivals = [r.arrival for r in generate_workload(spec)]
+            assert arrivals == sorted(arrivals)
+            assert all(a >= 0 for a in arrivals)
+
+    def test_burst_knobs_validated(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_mode="storm")
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_mode="bursty", burst_factor=1.0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_mode="flash", burst_fraction=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival_mode="flash", burst_fraction=1.0)

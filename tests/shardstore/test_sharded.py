@@ -111,6 +111,40 @@ class TestBarrier:
         # The fence lifts after the commit lands.
         assert sharded.version("g").version == 1
 
+    def test_stable_reads_pass_the_fence(self, graph):
+        """The cooperative engine's non-blocking probes: ``fenced()``
+        answers without raising, and ``stable=True`` reads observe the
+        last *committed* state mid-barrier — the head swaps and the
+        version count advances only after the barrier drops."""
+        sharded = ShardedGraphStore({"g": graph}, nshards=4, nranks=8)
+        first = random_update_batch(graph, n_edges=20, seed=4)
+        sharded.apply("g", first)
+        committed_digest = graph_digest(sharded.graph("g"))
+        observed = []
+
+        def probe(name, shard):
+            assert sharded.fenced("g")
+            assert sharded.version("g", stable=True).version == 1
+            assert graph_digest(sharded.graph("g", stable=True)) == \
+                committed_digest
+            # The plain read still refuses mid-commit state.
+            with pytest.raises(ConfigError, match="mid-commit"):
+                sharded.graph("g")
+            # Historical reconstruction honors the fence too: the shard
+            # chains are mid-mutation and cannot prove anything.
+            with pytest.raises(ConfigError, match="mid-commit"):
+                sharded.graph("g", 0)
+            observed.append(shard)
+
+        head = sharded.graph("g")
+        second = random_update_batch(head, n_edges=20, seed=5)
+        sharded.apply("g", second, _on_subcommit=probe)
+        assert observed
+        assert not sharded.fenced("g")
+        assert sharded.version("g", stable=True) == sharded.version("g")
+        assert graph_digest(sharded.graph("g", stable=True)) == \
+            graph_digest(sharded.graph("g"))
+
     def test_fence_lifts_after_failed_commit(self, graph):
         sharded = ShardedGraphStore({"g": graph}, nshards=4, nranks=8)
 

@@ -565,6 +565,131 @@ class TestShard:
             main(["shard", "skitter", "--check", "BENCH_shard.json"])
 
 
+class TestAsyncServe:
+    @staticmethod
+    def _patch_canned_async(monkeypatch, speedup=2.0, **overrides):
+        """Replace the (slow) async bench with a canned passing report."""
+        import repro.analysis.async_serve as asv
+
+        canned = {
+            "schema_version": asv.ASYNC_SCHEMA_VERSION, "quick": True,
+            "nranks": 8, "threads": 4, "workers": 6,
+            "steady": {
+                "n_requests": 48, "results_identical": True,
+                "p99_serial_s": 0.02, "p99_async_s": 0.01,
+                "p99_ratio": 0.5, "serial": {}, "async": {}},
+            "burst": {
+                "n_requests": 48, "disjoint_updates": 9,
+                "results_identical": True,
+                "throughput_serial_qps": 800.0,
+                "throughput_async_qps": 800.0 * speedup,
+                "throughput_ratio": speedup,
+                "p99_serial_s": 0.05, "p99_async_s": 0.03,
+                "serial": {}, "async": {"overlap_fraction": 0.7}},
+            "backpressure": {
+                "n_requests": 40, "defer_identical": True,
+                "n_deferred": 12, "shed_deterministic": True,
+                "n_rejected": 8, "rejected_absent_from_digests": True,
+                "deferred_keep_arrival_accounting": True,
+                "defer": {}, "shed": {}},
+            "interleavings": {
+                "n_requests": 32, "seeds": [0, 1, 2, 3],
+                "identical": {"0": True, "1": True, "2": True, "3": True},
+                "all_identical": True, "overlap_fraction_min": 0.4},
+        }
+        canned.update(overrides)
+        monkeypatch.setattr(asv, "run_async_bench",
+                            lambda quick=False: canned)
+
+    def test_one_off_async_json(self, capsys):
+        assert main(["async-serve", "--queries", "24", "--tenants", "4",
+                     "--workers", "3", "--update-mix", "0.25",
+                     "--catalog-scale", "0.2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results_identical"] is True
+        assert payload["workers"] == 3
+        assert payload["async"]["max_concurrency"] >= 1
+
+    def test_async_bench_writes_gated_report(self, tmp_path, capsys,
+                                             monkeypatch):
+        from repro.analysis.async_serve import (
+            ASYNC_REPORT_KEYS,
+            check_async_report,
+        )
+
+        self._patch_canned_async(monkeypatch)
+        out_file = tmp_path / "BENCH_async.json"
+        assert main(["async-serve", "--quick", "--bench",
+                     str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        for key in ASYNC_REPORT_KEYS:
+            assert key in report
+        assert check_async_report(report) == []
+        out = capsys.readouterr().out
+        assert "answers identical: True" in out
+        assert "interleaving" in out
+
+    def test_async_bench_check_against_baseline(self, tmp_path, capsys,
+                                                monkeypatch):
+        self._patch_canned_async(monkeypatch)
+        baseline = tmp_path / "baseline.json"
+        assert main(["async-serve", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        assert main(["async-serve", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline), "--no-trajectory"]) == 0
+        assert "async check OK" in capsys.readouterr().err
+
+    def test_async_bench_check_fails_on_regression(self, tmp_path, capsys,
+                                                   monkeypatch):
+        self._patch_canned_async(monkeypatch, speedup=8.0)
+        baseline = tmp_path / "baseline.json"
+        assert main(["async-serve", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        self._patch_canned_async(monkeypatch, speedup=1.6)
+        assert main(["async-serve", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline), "--no-trajectory"]) == 1
+        err = capsys.readouterr().err
+        assert "async check FAILED" in err
+        assert "fell below" in err
+
+    def test_failed_check_records_no_trajectory_row(self, tmp_path,
+                                                    monkeypatch):
+        self._patch_canned_async(monkeypatch, speedup=8.0)
+        baseline = tmp_path / "baseline.json"
+        assert main(["async-serve", "--quick", "--bench", str(baseline),
+                     "--no-trajectory"]) == 0
+        self._patch_canned_async(monkeypatch, speedup=1.6)
+        assert main(["async-serve", "--quick", "--bench",
+                     str(tmp_path / "fresh.json"), "--check",
+                     str(baseline)]) == 1
+        assert not (tmp_path / "BENCH_trajectory.json").exists()
+
+    def test_trajectory_row_appended(self, tmp_path, monkeypatch):
+        self._patch_canned_async(monkeypatch)
+        out_file = tmp_path / "BENCH_async.json"
+        assert main(["async-serve", "--quick", "--bench",
+                     str(out_file)]) == 0
+        data = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert len(data["rows"]) == 1
+        assert data["rows"][0]["kind"] == "async"
+        assert data["rows"][0]["burst_speedup"] == 2.0
+
+    def test_async_bench_rejects_customization_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["async-serve", "--bench", str(tmp_path / "x.json"),
+                  "--quick", "--workers", "2"])
+
+    def test_check_without_bench_rejected(self):
+        with pytest.raises(SystemExit, match="--bench"):
+            main(["async-serve", "--check", "BENCH_async.json"])
+
+    def test_bad_overflow_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["async-serve", "--overflow", "drop"])
+
+
 class TestBaselineErrors:
     """--check must fail fast, nonzero, with a one-line reason."""
 
@@ -587,7 +712,8 @@ class TestBaselineErrors:
         assert "not valid JSON" in msg and "\n" not in msg
         assert not (tmp_path / "f.json").exists()
 
-    @pytest.mark.parametrize("cmd", ["bench", "update", "store", "shard"])
+    @pytest.mark.parametrize("cmd", ["bench", "update", "store", "shard",
+                                     "async-serve"])
     def test_every_gated_command_fails_fast(self, cmd, tmp_path):
         flag = "--json" if cmd == "bench" else "--bench"
         with pytest.raises(SystemExit, match="does not exist"):
