@@ -43,10 +43,14 @@ with versioned graph updates — serially or through the cooperative
 async engine, whose overlapped answers are pinned bit-identical to the
 serial oracle); :mod:`repro.shardstore` (partition-aligned
 shards with cross-shard commit barriers, consistent-hash routing and
-digest-verified read replicas over the store).
+digest-verified read replicas over the store); :mod:`repro.obs` (the
+observability layer: simulated-clock span tracing, the typed metrics
+registry, the replayable decision journal with its fence-legality
+verifier, and the Chrome-trace/utilization exporters — pass
+``Observation.enabled()`` to the async engine to collect everything).
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.dynamic import (  # noqa: E402
     DeltaBuffer,
@@ -59,6 +63,11 @@ from repro.graphstore import (  # noqa: E402
     GraphVersion,
     GridCluster2D,
     ResidentCluster,
+)
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    Observation,
+    SpanTracer,
 )
 from repro.shardstore import (  # noqa: E402
     ReplicaSet,
@@ -86,12 +95,15 @@ __all__ = [
     "IncrementalState",
     "KernelResult",
     "KernelSpec",
+    "MetricsRegistry",
+    "Observation",
     "ReplicaSet",
     "ResidentCluster",
     "Session",
     "ShardPlan",
     "ShardRouter",
     "ShardedGraphStore",
+    "SpanTracer",
     "UpdateBatch",
     "UpdateOutcome",
     "apply_delta",

@@ -325,6 +325,12 @@ def append_trajectory_row(row: Mapping[str, Any],
     import os
     import tempfile
 
+    from repro.analysis.schema import validate_trajectory_row
+
+    problems = validate_trajectory_row(row)
+    if problems:
+        raise ValueError(
+            f"refusing to append a malformed trajectory row: {problems[0]}")
     try:
         with open(path) as fh:
             data = json.load(fh)

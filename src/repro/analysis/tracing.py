@@ -1,0 +1,260 @@
+"""Traced serving runs: the ``repro trace`` CLI backend.
+
+``repro trace`` serves one workload through the cooperative
+:class:`~repro.serve.engine.AsyncServingEngine` with the full
+:class:`~repro.obs.Observation` bundle on, then turns what it collected
+into artifacts:
+
+* the **decision journal** as JSONL (``TRACE_journal.jsonl``) — every
+  admit/dispatch/window/commit decision, byte-deterministic per seed;
+* the **span timeline** as Chrome ``trace_event`` JSON
+  (``TRACE_events.json``) — open it in ``chrome://tracing`` or
+  https://ui.perfetto.dev;
+* a summary payload with the journal's replay verdict
+  (:func:`~repro.obs.journal.replay_journal`), span well-formedness
+  (:func:`~repro.obs.trace.check_spans`) and the per-(graph, shard-set)
+  :func:`~repro.obs.export.utilization_report`.
+
+``repro trace --check`` is the CI gate for the whole observability
+layer (:func:`check_traced_run`):
+
+* **parity** — a traced run and an untraced run of the same workload
+  must produce bit-identical answers and store digests (observability
+  may never perturb the simulation);
+* **overhead** — min-of-:data:`OVERHEAD_REPEATS` traced wall clock must
+  stay within :data:`OVERHEAD_CEILING` of untraced (tracing-off is the
+  zero-cost path; tracing-on must stay cheap enough to leave on);
+* **replay** — the recorded journal must replay fence-legal, and be
+  byte-identical across two traced runs;
+* **spans** — the span tree must be well-formed (no orphans, no
+  same-worker task overlaps);
+* **artifacts** — every committed ``BENCH_*.json`` in the working
+  directory must pass :mod:`repro.analysis.schema` validation.
+"""
+
+from __future__ import annotations
+
+import glob
+import time
+from typing import Any, List, Mapping, Optional
+
+from repro.analysis.benchreport import BENCH_THREADS
+from repro.obs import Observation
+from repro.obs.export import chrome_trace, utilization_report
+from repro.obs.journal import replay_journal
+from repro.obs.trace import check_spans
+from repro.serve.engine import (
+    AsyncServeConfig,
+    AsyncServingEngine,
+    answers_identical,
+)
+from repro.serve.scheduler import FIFOScheduler, make_scheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.shardstore import ShardedGraphStore, annotate_shard_sets
+
+TRACE_SCHEMA_VERSION = 1
+
+#: Keys every ``--check`` report carries (pinned by tests and the CLI).
+TRACE_REPORT_KEYS = ("schema_version", "quick", "n_requests",
+                     "digests_identical", "journal_deterministic",
+                     "replay", "span_problems", "overhead_ratio",
+                     "overhead_ceiling", "artifact_problems", "ok")
+
+TRACE_NRANKS = 8
+TRACE_WORKERS = 6
+TRACE_NSHARDS = 4
+TRACE_SEED = 23
+
+#: Traced wall clock may exceed untraced by at most this factor.
+OVERHEAD_CEILING = 1.05
+
+#: Min-of-N repeats for the overhead measurement (shared runners jitter
+#: far more than the instrumentation costs; the minimum is the signal).
+OVERHEAD_REPEATS = 3
+
+#: Default artifact paths (gitignored; CI uploads them).
+DEFAULT_JOURNAL_PATH = "TRACE_journal.jsonl"
+DEFAULT_TRACE_PATH = "TRACE_events.json"
+
+
+def _config(**kw) -> AsyncServeConfig:
+    return AsyncServeConfig(nranks=TRACE_NRANKS, threads=BENCH_THREADS,
+                            pool_capacity=4,
+                            workers=kw.pop("workers", TRACE_WORKERS), **kw)
+
+
+def trace_workload(quick: bool = False, seed: int = TRACE_SEED,
+                   sharded: bool = True):
+    """The pinned trace workload: update-heavy, shard-annotated.
+
+    Updates carry their touched-shard sets over a sharded store so the
+    journal and utilization report exercise the finest fence domains
+    (``graph[s0,s1]``), including ``barrier``/``reseed`` spans.
+    """
+    catalog = default_catalog(scale=0.2 if quick else 0.3)
+    spec = WorkloadSpec(
+        n_queries=36 if quick else 90, arrival_rate=2500.0,
+        n_tenants=8, graphs=tuple(catalog), kernels=("lcc", "tc"),
+        seed=seed, update_mix=0.3, update_edges=6)
+    requests = generate_workload(spec, catalog)
+    store_factory = None
+    if sharded:
+        def store_factory(c):
+            return ShardedGraphStore(c, nshards=TRACE_NSHARDS,
+                                     nranks=TRACE_NRANKS)
+        requests = annotate_shard_sets(requests, store_factory(catalog))
+    return catalog, requests, store_factory
+
+
+def _serve(catalog, requests, store_factory, *, scheduler=None,
+           observation: Optional[Observation] = None):
+    """One cooperative run; returns ``(outcome, wall_clock_s)``."""
+    engine = AsyncServingEngine(
+        catalog, _config(), scheduler=scheduler or FIFOScheduler(),
+        store_factory=store_factory, observation=observation)
+    t0 = time.perf_counter()
+    outcome = engine.serve(requests)
+    return outcome, time.perf_counter() - t0
+
+
+def one_off_trace_run(*, journal_path: str = DEFAULT_JOURNAL_PATH,
+                      trace_path: str = DEFAULT_TRACE_PATH,
+                      quick: bool = False, seed: int = TRACE_SEED,
+                      scheduler: str = "fifo") -> dict[str, Any]:
+    """Serve the trace workload instrumented; write both artifacts.
+
+    Returns the summary payload the CLI prints: journal/span counts and
+    digests, the replay verdict, and the utilization breakdown.
+    """
+    catalog, requests, store_factory = trace_workload(quick, seed)
+    obs = Observation.enabled()
+    opts = {"seed": seed} if scheduler == "interleave" else {}
+    outcome, wall = _serve(catalog, requests, store_factory,
+                           scheduler=make_scheduler(scheduler, **opts),
+                           observation=obs)
+    obs.journal.write(journal_path)
+    trace = chrome_trace(obs.tracer.spans,
+                         label=f"repro trace (seed {seed})")
+    import json
+
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    replay = replay_journal(obs.journal, requests)
+    span_problems = check_spans(obs.tracer.spans)
+    util = utilization_report(outcome.records, outcome.update_records,
+                              requests=requests, workers=TRACE_WORKERS)
+    return {
+        "n_requests": len(requests),
+        "scheduler": scheduler,
+        "seed": seed,
+        "wall_clock_s": wall,
+        "n_events": len(obs.journal),
+        "n_spans": len(obs.tracer.spans),
+        "journal_digest": obs.journal.digest(),
+        "span_problems": span_problems,
+        "replay": replay.as_dict(),
+        "utilization": util,
+        "journal_path": journal_path,
+        "trace_path": trace_path,
+    }
+
+
+def check_traced_run(*, quick: bool = False, seed: int = TRACE_SEED,
+                     repeats: int = OVERHEAD_REPEATS,
+                     ceiling: float = OVERHEAD_CEILING,
+                     artifact_glob: str = "BENCH_*.json"
+                     ) -> dict[str, Any]:
+    """The observability gate (see module docstring for the clauses).
+
+    Returns a report dict whose ``ok`` is the overall verdict and whose
+    ``problems`` list explains any failure in one line each.
+    """
+    from repro.analysis.schema import validate_tree
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    catalog, requests, store_factory = trace_workload(quick, seed)
+
+    plain_walls: List[float] = []
+    plain_outcome = None
+    for _ in range(repeats):
+        plain_outcome, wall = _serve(catalog, requests, store_factory)
+        plain_walls.append(wall)
+
+    traced_walls: List[float] = []
+    traced_outcome, obs = None, None
+    digests: List[str] = []
+    for _ in range(2 if repeats < 2 else repeats):
+        obs = Observation.enabled()
+        traced_outcome, wall = _serve(catalog, requests, store_factory,
+                                      observation=obs)
+        traced_walls.append(wall)
+        digests.append(obs.journal.digest())
+
+    problems: List[str] = []
+    identical = answers_identical(plain_outcome, traced_outcome)
+    if not identical:
+        problems.append(
+            "tracing perturbed the run: traced answers/digests diverged "
+            "from the untraced run")
+    deterministic = len(set(digests)) == 1
+    if not deterministic:
+        problems.append(
+            f"journal is not deterministic: {len(set(digests))} distinct "
+            f"digests across {len(digests)} runs")
+    replay = replay_journal(obs.journal, requests)
+    if not replay.ok:
+        problems.append(
+            f"journal replay found the run fence-illegal: "
+            f"{replay.problems[0]}")
+    span_problems = check_spans(obs.tracer.spans)
+    if span_problems:
+        problems.append(f"span tree malformed: {span_problems[0]}")
+    floor = min(plain_walls)
+    ratio = (min(traced_walls) / floor) if floor > 0 else 0.0
+    if ratio > ceiling:
+        problems.append(
+            f"tracing overhead {ratio:.3f}x exceeds the "
+            f"{ceiling:.2f}x ceiling")
+    artifact_problems = validate_tree(sorted(glob.glob(artifact_glob)))
+    problems.extend(f"artifact schema: {p}" for p in artifact_problems)
+
+    return {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "quick": quick,
+        "seed": seed,
+        "n_requests": len(requests),
+        "digests_identical": bool(identical),
+        "journal_deterministic": bool(deterministic),
+        "journal_digest": digests[0],
+        "replay": replay.as_dict(),
+        "span_problems": span_problems,
+        "n_spans": len(obs.tracer.spans),
+        "n_events": len(obs.journal),
+        "wall_untraced_s": floor,
+        "wall_traced_s": min(traced_walls),
+        "overhead_ratio": ratio,
+        "overhead_ceiling": ceiling,
+        "artifact_problems": artifact_problems,
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
+def format_check_report(report: Mapping[str, Any]) -> List[str]:
+    """Human-readable lines for one ``--check`` report."""
+    replay = report.get("replay", {})
+    return [
+        f"parity       traced answers identical to untraced: "
+        f"{report['digests_identical']}",
+        f"journal      {report['n_events']} events, deterministic: "
+        f"{report['journal_deterministic']}, replay fence-legal: "
+        f"{replay.get('ok')} ({replay.get('n_dispatches')} dispatches, "
+        f"{replay.get('n_commits')} commits)",
+        f"spans        {report['n_spans']} spans, "
+        f"{len(report['span_problems'])} problems",
+        f"overhead     {report['overhead_ratio']:.3f}x untraced "
+        f"(ceiling {report['overhead_ceiling']:.2f}x)",
+        f"artifacts    {len(report['artifact_problems'])} schema problems",
+    ]

@@ -35,6 +35,7 @@ from repro.clampi.allocator import BufferAllocator
 from repro.clampi.hashtable import HashIndex
 from repro.clampi.scores import DefaultScorePolicy, ScorePolicy
 from repro.clampi.stats import CacheStats
+from repro.obs.trace import span as obs_span
 from repro.runtime.network import MemoryModel, NetworkModel
 from repro.runtime.window import Window
 from repro.utils.errors import CacheError
@@ -621,18 +622,20 @@ class ClampiCache:
         """
         if self._batch_events is not None:
             raise CacheError("invalidate() is not allowed during access_batch")
-        dropped = 0
-        dropped_bytes = 0
-        for key in keys:
-            entry = self.index.lookup(tuple(key))
-            if entry is None:
-                continue
-            self._remove_entry(entry)
-            dropped += 1
-            dropped_bytes += entry.nbytes
-            self.stats.mgmt_time += self.config.eviction_overhead
-        self.stats.invalidations += dropped
-        self.stats.invalidated_bytes += dropped_bytes
+        with obs_span("invalidate", cat="cache") as sp:
+            dropped = 0
+            dropped_bytes = 0
+            for key in keys:
+                entry = self.index.lookup(tuple(key))
+                if entry is None:
+                    continue
+                self._remove_entry(entry)
+                dropped += 1
+                dropped_bytes += entry.nbytes
+                self.stats.mgmt_time += self.config.eviction_overhead
+            self.stats.invalidations += dropped
+            self.stats.invalidated_bytes += dropped_bytes
+            sp.note(dropped=dropped, bytes=dropped_bytes)
         return dropped, dropped_bytes
 
     def rekey(self, pairs: "Iterable[tuple[tuple, tuple]]") -> tuple[int, int]:
@@ -655,6 +658,13 @@ class ClampiCache:
         """
         if self._batch_events is not None:
             raise CacheError("rekey() is not allowed during access_batch")
+        with obs_span("rekey", cat="cache") as sp:
+            moved, moved_bytes = self._rekey(pairs)
+            sp.note(moved=moved, bytes=moved_bytes)
+        return moved, moved_bytes
+
+    def _rekey(self, pairs: "Iterable[tuple[tuple, tuple]]"
+               ) -> tuple[int, int]:
         detached: list[tuple[CacheEntry, tuple]] = []
         for old_key, new_key in pairs:
             old_key, new_key = tuple(old_key), tuple(new_key)
@@ -700,14 +710,15 @@ class ClampiCache:
     # -- maintenance ---------------------------------------------------------------
     def flush(self) -> None:
         """Drop every entry (compulsory-miss history is preserved)."""
-        self.index.clear()
-        self.allocator = BufferAllocator(self.config.capacity_bytes)
-        self._keys.clear()
-        self._key_pos.clear()
-        self._state_epoch += 1
-        if self._batch_events is not None:
-            self._batch_events.append(_CLEARED)
-        self.stats.flushes += 1
+        with obs_span("flush", cat="cache", entries=len(self._keys)):
+            self.index.clear()
+            self.allocator = BufferAllocator(self.config.capacity_bytes)
+            self._keys.clear()
+            self._key_pos.clear()
+            self._state_epoch += 1
+            if self._batch_events is not None:
+                self._batch_events.append(_CLEARED)
+            self.stats.flushes += 1
 
     def resize(self, *, nslots: int | None = None,
                capacity_bytes: int | None = None) -> None:

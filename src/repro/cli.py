@@ -201,19 +201,24 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _load_baseline(path: str) -> dict:
+def _load_baseline(path: str, kind: str | None = None) -> dict:
     """Read a ``--check`` baseline, failing with a one-line error.
 
     A missing or unparseable baseline is an operator mistake (wrong
     path, corrupt checkout), not a bug — surface it as a clean nonzero
-    exit instead of a traceback.
+    exit instead of a traceback.  ``kind`` additionally schema-checks
+    the loaded report (:mod:`repro.analysis.schema`) in baseline mode —
+    partial baselines stay accepted (the gates only read the sections
+    they compare), but corrupt shapes and non-finite numbers fail here
+    with one line instead of a ``KeyError`` inside the gate.
     """
     import json
 
     from repro.analysis.benchreport import load_report
+    from repro.analysis.schema import validate_report
 
     try:
-        return load_report(path)
+        report = load_report(path)
     except FileNotFoundError:
         raise SystemExit(
             f"--check baseline {path!r} does not exist; point it at a "
@@ -222,6 +227,13 @@ def _load_baseline(path: str) -> dict:
         raise SystemExit(
             f"--check baseline {path!r} is not valid JSON ({exc}); "
             "restore it from version control") from None
+    problems = validate_report(report, kind, strict=False)
+    if problems:
+        more = f" (+{len(problems) - 1} more)" if len(problems) > 1 else ""
+        raise SystemExit(
+            f"--check baseline {path!r} fails schema validation: "
+            f"{problems[0]}{more}; restore it from version control")
+    return report
 
 
 def cmd_bench(args) -> int:
@@ -236,7 +248,7 @@ def cmd_bench(args) -> int:
     # Load the baseline up front: --json defaults to the committed baseline
     # path, so writing first would make --check compare the fresh report
     # against itself (and destroy the baseline before it was ever read).
-    baseline = _load_baseline(args.check) if args.check else None
+    baseline = _load_baseline(args.check, "kernels") if args.check else None
     report = run_bench(quick=args.quick)
     write_report(report, args.json)
     for name, row in report["kernels"].items():
@@ -309,7 +321,7 @@ def cmd_update(args) -> int:
                 f"update --bench uses the pinned benchmark graphs/config; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = _load_baseline(args.check) if args.check else None
+        baseline = _load_baseline(args.check, "dynamic") if args.check else None
         report = run_dynamic_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (and
         # re-checks every correctness clause); the absolute gate would
@@ -382,7 +394,7 @@ def cmd_store(args) -> int:
                 f"store --bench uses the pinned benchmark graphs/config; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = _load_baseline(args.check) if args.check else None
+        baseline = _load_baseline(args.check, "store") if args.check else None
         report = run_store_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (it
         # re-checks every correctness clause and the 2x warm floor).
@@ -460,7 +472,7 @@ def cmd_shard(args) -> int:
                 f"shard --bench uses the pinned benchmark graphs/config; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = _load_baseline(args.check) if args.check else None
+        baseline = _load_baseline(args.check, "shard") if args.check else None
         report = run_shard_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (it
         # re-checks every correctness clause and the read-scaling floor).
@@ -564,7 +576,7 @@ def cmd_async_serve(args) -> int:
                 f"async-serve --bench uses the pinned benchmark workloads; "
                 f"{', '.join(ignored)} would be ignored — drop them (or run "
                 "without --bench for a one-off configurable run)")
-        baseline = _load_baseline(args.check) if args.check else None
+        baseline = _load_baseline(args.check, "async") if args.check else None
         report = run_async_bench(quick=args.quick)
         # With a baseline, the tolerance gate below owns the verdict (it
         # re-checks every correctness clause and both SLO gates).
@@ -710,6 +722,83 @@ def cmd_serve(args) -> int:
             aff.aggregates["throughput_qps"]
             / fifo.aggregates["throughput_qps"])
     _emit(args, payload)
+    return 0
+
+
+TRACE_DEFAULTS = {"seed": None, "scheduler": "fifo",
+                  "journal": None, "trace": None}
+
+
+def cmd_trace(args) -> int:
+    from repro.analysis.tracing import (
+        DEFAULT_JOURNAL_PATH,
+        DEFAULT_TRACE_PATH,
+        TRACE_SEED,
+        check_traced_run,
+        format_check_report,
+        one_off_trace_run,
+    )
+
+    seed = TRACE_SEED if args.seed is None else args.seed
+    journal_path = args.journal or DEFAULT_JOURNAL_PATH
+    trace_path = args.trace or DEFAULT_TRACE_PATH
+
+    if args.check:
+        ignored = [flag for flag, is_default in (
+            ("--json", not args.json),
+            ("--scheduler", args.scheduler == TRACE_DEFAULTS["scheduler"]),
+        ) if not is_default]
+        if ignored:
+            raise SystemExit(
+                f"trace --check runs the pinned gate workload; "
+                f"{', '.join(ignored)} would be ignored — drop them (or "
+                "run without --check for a one-off traced run)")
+        report = check_traced_run(quick=args.quick, seed=seed)
+        for line in format_check_report(report):
+            print(line)
+        # The gate's artifacts are what CI uploads: re-run the traced
+        # workload once more, instrumented, to leave them on disk.
+        one_off_trace_run(journal_path=journal_path, trace_path=trace_path,
+                          quick=args.quick, seed=seed)
+        print(f"journal written to {journal_path}", file=sys.stderr)
+        print(f"chrome trace written to {trace_path}", file=sys.stderr)
+        if not report["ok"]:
+            for problem in report["problems"]:
+                print(f"trace check: {problem}", file=sys.stderr)
+            print("trace check FAILED", file=sys.stderr)
+            return 1
+        print("trace check OK", file=sys.stderr)
+        return 0
+
+    payload = one_off_trace_run(
+        journal_path=journal_path, trace_path=trace_path,
+        quick=args.quick, seed=seed, scheduler=args.scheduler)
+    if args.json:
+        print(json.dumps(payload, indent=2, default=float))
+    else:
+        replay = payload["replay"]
+        util = payload["utilization"]
+        print(f"{payload['n_requests']} requests traced "
+              f"({payload['scheduler']} scheduler, seed {payload['seed']})")
+        print(f"journal      {payload['n_events']} events  "
+              f"digest {payload['journal_digest'][:12]}  "
+              f"replay fence-legal: {replay['ok']} "
+              f"({replay['n_dispatches']} dispatches, "
+              f"{replay['n_commits']} commits)")
+        print(f"spans        {payload['n_spans']} spans, "
+              f"{len(payload['span_problems'])} problems")
+        print(f"overall      mean concurrency "
+              f"{util['overall']['mean_concurrency']:.2f}  overlap "
+              f"{util['overall']['overlap_fraction']:.2f}  makespan "
+              f"{util['makespan_s']:.4f}s")
+        for key, row in util["domains"].items():
+            print(f"{key:24s} {row['n_queries']:3d} queries "
+                  f"{row['n_updates']:3d} updates  busy "
+                  f"{row['busy_fraction']:.2f} of makespan  overlap "
+                  f"{row['overlap_fraction']:.2f}")
+    print(f"journal written to {payload['journal_path']}", file=sys.stderr)
+    print(f"chrome trace written to {payload['trace_path']}",
+          file=sys.stderr)
     return 0
 
 
@@ -951,6 +1040,33 @@ def build_parser() -> argparse.ArgumentParser:
                    action="store_const", const="",
                    help="do not record a trajectory row")
     p.set_defaults(fn=cmd_async_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced cooperative serving: decision journal + Chrome "
+             "trace + replay-verified fences")
+    p.add_argument("--quick", action="store_true",
+                   help="small workload (CI smoke run)")
+    p.add_argument("--seed", type=int, default=TRACE_DEFAULTS["seed"],
+                   help="workload seed (default: the pinned trace seed)")
+    p.add_argument("--scheduler", choices=["fifo", "affinity", "interleave"],
+                   default=TRACE_DEFAULTS["scheduler"],
+                   help="dispatch policy for the one-off traced run")
+    p.add_argument("--journal", metavar="PATH",
+                   default=TRACE_DEFAULTS["journal"],
+                   help="decision-journal output "
+                        "(default: TRACE_journal.jsonl)")
+    p.add_argument("--trace", metavar="PATH",
+                   default=TRACE_DEFAULTS["trace"],
+                   help="Chrome trace_event output "
+                        "(default: TRACE_events.json)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--check", action="store_true",
+                   help="observability gate: traced/untraced parity, "
+                        "deterministic journal, fence-legal replay, "
+                        "well-formed spans, <=5%% overhead, and schema-"
+                        "valid committed BENCH_*.json artifacts")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("run", help="run any registered kernel by name")
     add_graph_args(p)

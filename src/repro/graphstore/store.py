@@ -43,6 +43,7 @@ from repro.dynamic.delta import (
     apply_delta,
 )
 from repro.graph.csr import CSRGraph
+from repro.obs.trace import span as obs_span
 from repro.utils.errors import ConfigError
 
 __all__ = [
@@ -236,15 +237,19 @@ class GraphStore:
         """
         chain = self._chain(name)
         head = chain[-1]
-        res = apply_delta(head.graph, batch, strict=strict)
-        version = GraphVersion(name, head.version.version + 1)
-        h = hashlib.sha1()
-        h.update(head.digest.encode())
-        h.update(b"|")
-        h.update(graph_digest(res.graph).encode())
-        record = VersionRecord(version=version, graph=res.graph,
-                               digest=h.hexdigest(), batch=batch, delta=res)
-        chain.append(record)
+        with obs_span("commit", cat="store", graph=name) as sp:
+            res = apply_delta(head.graph, batch, strict=strict)
+            version = GraphVersion(name, head.version.version + 1)
+            h = hashlib.sha1()
+            h.update(head.digest.encode())
+            h.update(b"|")
+            h.update(graph_digest(res.graph).encode())
+            record = VersionRecord(version=version, graph=res.graph,
+                                   digest=h.hexdigest(), batch=batch,
+                                   delta=res)
+            chain.append(record)
+            sp.note(version=version.version, coalesced=coalesced,
+                    changed=bool(res.changed))
         return StoreUpdate(version=version, delta=res, digest=record.digest,
                            coalesced=coalesced)
 

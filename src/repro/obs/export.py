@@ -1,0 +1,158 @@
+"""Exporters: Chrome ``trace_event`` timelines and utilization reports.
+
+Two ways out of the tracer:
+
+* :func:`chrome_trace` renders a span set as Chrome's ``trace_event``
+  JSON (the format ``chrome://tracing`` and Perfetto's legacy loader
+  read): one process, one row per engine worker, complete (``ph="X"``)
+  events for spans with simulated duration and instant (``ph="i"``)
+  events for the synchronous layer spans (store commits, resyncs, cache
+  invalidations) that consume wall time but no simulated time.
+  Timestamps are the *simulated* clock in microseconds, so the rendered
+  timeline is the engine's own — deterministic per seed.
+* :func:`utilization_report` generalizes
+  :func:`~repro.serve.records.concurrency_profile` from one global
+  number to a per-(graph, shard-set) breakdown: for each fence domain,
+  how busy it was, how overlapped, and what fraction of the run's
+  makespan it occupied.  This is the report that shows *where* the
+  cooperative engine's overlap comes from — disjoint graphs, or
+  disjoint shard sets within one graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import Span
+from repro.serve.records import concurrency_profile
+
+__all__ = [
+    "chrome_trace",
+    "utilization_report",
+]
+
+
+def _effective_worker(span: Span, by_sid: Dict[int, Span]) -> int:
+    """A span's display row: its worker, or the nearest ancestor's."""
+    seen = set()
+    cur: Optional[Span] = span
+    while cur is not None and cur.sid not in seen:
+        if cur.worker is not None:
+            return cur.worker
+        seen.add(cur.sid)
+        cur = by_sid.get(cur.parent) if cur.parent is not None else None
+    return 0
+
+
+def chrome_trace(spans: Sequence[Span], *,
+                 label: str = "repro serving trace") -> dict:
+    """Spans as a Chrome ``trace_event`` document (JSON-serializable).
+
+    Load the written file in ``chrome://tracing`` or
+    https://ui.perfetto.dev — one row per engine worker, simulated
+    microseconds on the x-axis.  Span attributes (including measured
+    ``wall_s`` for layer spans) appear under each event's ``args``.
+    """
+    by_sid = {s.sid: s for s in spans}
+    events: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": label},
+    }]
+    workers = sorted({_effective_worker(s, by_sid) for s in spans})
+    for w in workers:
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": w,
+            "args": {"name": f"worker {w}"},
+        })
+    for s in sorted(spans, key=lambda s: (s.t0, s.sid)):
+        args = {"sid": s.sid, **s.attrs}
+        if s.parent is not None:
+            args["parent"] = s.parent
+        base = {
+            "name": s.name, "cat": s.cat, "pid": 0,
+            "tid": _effective_worker(s, by_sid),
+            "ts": s.t0 * 1e6, "args": args,
+        }
+        if s.t1 > s.t0:
+            events.append({**base, "ph": "X", "dur": (s.t1 - s.t0) * 1e6})
+        else:
+            # Zero simulated duration: a synchronous layer call.  An
+            # instant event keeps it visible on the timeline.
+            events.append({**base, "ph": "i", "s": "t"})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _domain_key(graph: str, shards) -> str:
+    """One fence domain's label: ``graph`` or ``graph[s0,s2]``."""
+    if not shards:
+        return graph
+    return f"{graph}[{','.join(str(s) for s in sorted(shards))}]"
+
+
+def utilization_report(records, update_records=(), *,
+                       requests: Sequence = (),
+                       workers: Optional[int] = None) -> dict:
+    """Per-(graph, shard-set) busy/overlap breakdown of one run.
+
+    Queries read their whole graph, so they land in the graph's
+    whole-graph domain; updates land in the domain of their annotated
+    shard set (``graph`` itself when un-annotated — the conservative
+    whole-graph fence).  ``requests`` supplies the qid → shard-set
+    mapping, since retired records don't carry annotations.  Each
+    domain row reuses the same interval sweep as
+    :func:`~repro.serve.records.concurrency_profile` plus busy time and
+    the share of the run's makespan the domain was active; the
+    ``overall`` row is exactly ``concurrency_profile`` over everything,
+    so the old single-number profile is a projection of this report.
+    """
+    shards_by_qid = {
+        r.qid: tuple(sorted(getattr(r, "shards", None) or ()))
+        for r in requests
+    }
+    domains: Dict[str, dict] = {}
+
+    def bucket(key: str) -> dict:
+        return domains.setdefault(
+            key, {"queries": [], "updates": []})
+
+    for r in records:
+        bucket(_domain_key(r.graph, None))["queries"].append(r)
+    for u in update_records:
+        bucket(_domain_key(u.graph, shards_by_qid.get(u.qid)))[
+            "updates"].append(u)
+
+    all_records = list(records)
+    all_updates = list(update_records)
+    finishes = [r.finish for r in (*all_records, *all_updates)]
+    makespan = max(finishes) if finishes else 0.0
+
+    rows: Dict[str, dict] = {}
+    for key in sorted(domains):
+        group = domains[key]
+        profile = concurrency_profile(group["queries"], group["updates"])
+        busy = (sum(r.finish - r.start for r in group["queries"])
+                + sum(u.finish - (u.start + u.held_s)
+                      for u in group["updates"] if not u.coalesced))
+        row = {
+            "n_queries": len(group["queries"]),
+            "n_updates": len(group["updates"]),
+            "busy_s": float(busy),
+            "busy_fraction": float(busy / makespan) if makespan else 0.0,
+            **profile,
+        }
+        if workers:
+            row["utilization"] = (float(busy / (makespan * workers))
+                                  if makespan else 0.0)
+        rows[key] = row
+
+    overall = concurrency_profile(all_records, all_updates)
+    out = {
+        "makespan_s": float(makespan),
+        "overall": overall,
+        "domains": rows,
+    }
+    if workers:
+        total_busy = sum(r["busy_s"] for r in rows.values())
+        out["utilization"] = (float(total_busy / (makespan * workers))
+                              if makespan else 0.0)
+    return out

@@ -64,6 +64,9 @@ from repro.core.config import CacheSpec, LCCConfig
 from repro.dynamic.delta import DeltaBuffer, UpdateBatch, apply_delta
 from repro.graph.csr import CSRGraph
 from repro.graphstore.store import GraphStore, graph_digest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import activate
+from repro.obs.trace import span as obs_span
 from repro.serve.pool import SessionPool
 from repro.serve.records import (
     AsyncServeOutcome,
@@ -91,6 +94,7 @@ from repro.serve.tasks import (
     Hold,
     Run,
     Task,
+    effect_name,
     make_task,
 )
 from repro.utils.errors import ConfigError
@@ -398,15 +402,22 @@ class _Inflight:
 
 
 class _Holding:
-    """An update-leader task holding its coalescing window open."""
+    """An update-leader task holding its coalescing window open.
 
-    __slots__ = ("task", "close", "worker", "start")
+    ``planned`` keeps the close time the window was opened with;
+    ``close`` may later be pulled earlier by a query arrival, and the
+    journal derives the close *reason* from the difference.
+    """
 
-    def __init__(self, task: Task, close: float, worker: int, start: float):
+    __slots__ = ("task", "close", "worker", "start", "planned")
+
+    def __init__(self, task: Task, close: float, worker: int, start: float,
+                 planned: float | None = None):
         self.task = task
         self.close = close
         self.worker = worker
         self.start = start
+        self.planned = close if planned is None else planned
 
 
 class AsyncServingEngine(ServingEngine):
@@ -428,13 +439,18 @@ class AsyncServingEngine(ServingEngine):
     def __init__(self, catalog: dict[str, CSRGraph],
                  config: AsyncServeConfig | None = None,
                  scheduler: Scheduler | None = None,
-                 store_factory=None):
+                 store_factory=None, observation=None):
         super().__init__(catalog, config or AsyncServeConfig(),
                          scheduler, store_factory)
         if not isinstance(self.config, AsyncServeConfig):
             raise ConfigError(
                 "AsyncServingEngine needs an AsyncServeConfig "
                 f"(got {type(self.config).__name__})")
+        #: Optional :class:`repro.obs.Observation`: a span tracer and/or
+        #: decision journal to populate during :meth:`serve`.  ``None``
+        #: (the default) keeps the plain fast path — tracing costs
+        #: nothing it doesn't collect, and never changes answers.
+        self.observation = observation
 
     # -- event-loop state is per-serve(), threaded through explicitly ------
 
@@ -458,11 +474,45 @@ class AsyncServingEngine(ServingEngine):
         records: list[QueryRecord] = []
         update_records: list[UpdateRecord] = []
         rejected: list[RejectRecord] = []
-        updates_coalesced = 0
-        decisions = 0
         window_s = cfg.coalesce_window_s
         clock = 0.0
         last_key = None
+
+        obs = self.observation
+        tracer = getattr(obs, "tracer", None)
+        journal = getattr(obs, "journal", None)
+        registry = MetricsRegistry()
+        c_decisions = registry.counter(
+            "engine.decisions", "dispatch decisions the event loop made")
+        c_queue_steps = registry.counter(
+            "engine.queue_steps", "times a runnable task was passed over")
+        c_admitted = registry.counter(
+            "engine.admitted", "requests that entered the run queue")
+        c_deferred = registry.counter(
+            "engine.deferred", "arrivals parked by a full run queue")
+        c_shed = registry.counter(
+            "engine.shed", "arrivals rejected outright")
+        c_starved = registry.counter(
+            "engine.starvation_overrides",
+            "dispatches forced by the starvation limit")
+        c_windows = registry.counter(
+            "engine.windows_opened", "coalescing windows opened")
+        c_riders = registry.counter(
+            "engine.updates_coalesced", "updates that rode another's flush")
+        c_commits = registry.counter(
+            "engine.commits", "update groups committed to the store")
+        h_held = registry.histogram(
+            "engine.window_held_s", "simulated hold before each commit")
+
+        def jot(ev: str, **fields) -> None:
+            """Journal one decision at the engine's current clock."""
+            if journal is not None:
+                journal.append(ev, clock, **fields)
+
+        def tick(t: float) -> None:
+            """Move the tracer's simulated 'now' with the engine."""
+            if tracer is not None:
+                tracer.now = t
 
         def inflight_requests():
             """Everything the fence must see beyond the run queue."""
@@ -482,13 +532,22 @@ class AsyncServingEngine(ServingEngine):
                             qid=req.qid, tenant=req.tenant, graph=req.graph,
                             arrival=req.arrival, is_update=req.is_update,
                             queue_depth=len(waiting)))
+                        c_shed.inc()
+                        jot("shed", qid=req.qid, graph=req.graph,
+                            queue_depth=len(waiting))
                         changed = True
                         continue
                     task = make_task(req)
                     task.deferred = True
                     deferred.append(task)
+                    c_deferred.inc()
+                    jot("defer", qid=req.qid, graph=req.graph,
+                        queue_depth=len(waiting))
                 else:
                     waiting.append(make_task(req))
+                    c_admitted.inc()
+                    jot("admit", qid=req.qid, graph=req.graph,
+                        is_update=req.is_update, arrival=req.arrival)
                 # A freshly-arrived query closes any open window on its
                 # graph: the leader must commit before the query can
                 # observe its version, so holding longer only adds
@@ -501,7 +560,13 @@ class AsyncServingEngine(ServingEngine):
             # Refill freed run-queue slots in arrival order.
             while deferred and (not cfg.max_queue
                                 or len(waiting) < cfg.max_queue):
-                waiting.append(deferred.pop(0))
+                task = deferred.pop(0)
+                waiting.append(task)
+                c_admitted.inc()
+                jot("admit", qid=task.request.qid,
+                    graph=task.request.graph,
+                    is_update=task.request.is_update,
+                    arrival=task.request.arrival, promoted=True)
                 changed = True
             return changed
 
@@ -539,8 +604,14 @@ class AsyncServingEngine(ServingEngine):
 
         def close_window(h: _Holding) -> None:
             """Commit a leader plus whatever riders its window absorbed."""
-            nonlocal updates_coalesced, window_s
+            nonlocal window_s
+            leader = h.task.request
             riders = gather_riders(h.task)
+            rider_qids = [t.request.qid for t in riders]
+            jot("window_close", qid=leader.qid, graph=leader.graph,
+                close=h.close, riders=rider_qids,
+                reason=("deadline" if h.close >= h.planned
+                        else "query_arrival"))
             for t in riders:
                 waiting.remove(t)
             h.task.resume([t.request for t in riders])
@@ -549,14 +620,33 @@ class AsyncServingEngine(ServingEngine):
                 raise ConfigError("update task must commit after its hold")
             t0 = time.perf_counter()
             group = [effect.leader, *effect.riders]
-            updates, fields, service = _commit_update_group(store, pool,
-                                                            group)
+            tick(h.close)
+            with obs_span("commit", cat="task", worker=h.worker,
+                          qid=leader.qid, graph=leader.graph,
+                          group=len(group)) as commit_span:
+                updates, fields, service = _commit_update_group(store, pool,
+                                                                group)
+                finish = h.close + service
+                commit_span.end_at(finish)
             wall = time.perf_counter() - t0
-            updates_coalesced += len(riders)
+            c_riders.inc(len(riders))
+            c_commits.inc()
+            h_held.observe(h.close - h.start)
+            if tracer is not None:
+                tracer.emit("hold", cat="task", t0=h.start, t1=h.close,
+                            worker=h.worker, qid=leader.qid,
+                            graph=leader.graph, riders=len(riders))
+            jot("commit", qid=leader.qid, graph=leader.graph,
+                riders=rider_qids,
+                versions=[u.version.version for u in updates],
+                digest=updates[-1].digest, finish=finish)
             if cfg.adaptive_window:
-                window_s = (min(cfg.coalesce_window_s, window_s * 2)
-                            if riders else window_s / 2)
-            finish = h.close + service
+                adapted = (min(cfg.coalesce_window_s, window_s * 2)
+                           if riders else window_s / 2)
+                if adapted != window_s:
+                    window_s = adapted
+                    jot("window_adapt", qid=leader.qid,
+                        graph=leader.graph, window_s=window_s)
             h.task.resume(Committed(
                 updates=tuple(updates), fields=fields, start=h.start,
                 commit_at=h.close, finish=finish, service_s=service,
@@ -569,6 +659,8 @@ class AsyncServingEngine(ServingEngine):
             task = r.task
             if not task.done:  # pragma: no cover - structural guard
                 raise ConfigError("inflight task retired before completion")
+            jot("retire", qid=task.request.qid, worker=r.worker,
+                finish=r.finish)
             if task.request.is_update:
                 for rec in task.value:
                     rec.deferred = task.deferred or rec.deferred
@@ -604,13 +696,13 @@ class AsyncServingEngine(ServingEngine):
 
         def dispatch() -> bool:
             """Start runnable tasks while workers are free."""
-            nonlocal decisions, clock, last_key
+            nonlocal clock, last_key
             started = False
             while free_workers:
                 ready = dispatchable()
                 if not ready:
                     break
-                decisions += 1
+                c_decisions.inc()
                 starved = [t for t in ready
                            if t.queue_steps >= cfg.starvation_limit]
                 if starved:
@@ -627,9 +719,17 @@ class AsyncServingEngine(ServingEngine):
                 for other in ready:
                     if other is not task:
                         other.queue_steps += 1
+                c_queue_steps.inc(len(ready) - 1)
+                if starved:
+                    c_starved.inc()
                 waiting.remove(task)
                 worker = free_workers.pop(0)
                 req = task.request
+                jot("dispatch", qid=req.qid, graph=req.graph,
+                    is_update=req.is_update, worker=worker,
+                    starved=bool(starved), eligible=len(ready),
+                    effect=effect_name(task.effect))
+                tick(clock)
                 if req.is_update:
                     if not isinstance(task.effect, Hold):  # pragma: no cover
                         raise ConfigError("update task must hold first")
@@ -637,14 +737,20 @@ class AsyncServingEngine(ServingEngine):
                     # by the leader's own deadline — a hold never pushes
                     # the commit past arrival + slo_update_s.
                     deadline = req.arrival + cfg.slo_update_s
-                    close = clock + max(0.0, min(window_s, deadline - clock))
+                    planned = clock + max(0.0, min(window_s,
+                                                   deadline - clock))
+                    close = planned
                     # An already-waiting query on the graph means no
                     # rider can be absorbed ahead of it: commit now.
                     if any(not t.request.is_update
                            and t.request.graph == req.graph
                            for t in waiting + deferred):
                         close = clock
-                    h = _Holding(task, close, worker, clock)
+                    c_windows.inc()
+                    jot("window_open", qid=req.qid, graph=req.graph,
+                        close=close, window_s=window_s)
+                    h = _Holding(task, close, worker, clock,
+                                 planned=planned)
                     holding.append(h)
                     if close <= clock:
                         holding.remove(h)
@@ -663,6 +769,13 @@ class AsyncServingEngine(ServingEngine):
                     wall = time.perf_counter() - t0
                     version = store.version(req.graph).version
                     finish = clock + float(result.time)
+                    if tracer is not None:
+                        tracer.emit("run", cat="task", t0=clock, t1=finish,
+                                    worker=worker, qid=req.qid,
+                                    graph=req.graph, kernel=req.kernel,
+                                    version=version,
+                                    warm=bool(result.warm_cache),
+                                    wall_s=wall)
                     task.resume(Executed(
                         result=result, version=version, start=clock,
                         finish=finish, wall_s=wall, worker=worker,
@@ -671,9 +784,10 @@ class AsyncServingEngine(ServingEngine):
                 started = True
             return started
 
-        with SessionPool(store, cfg.session_config,
-                         capacity=cfg.pool_capacity,
-                         policy=cfg.pool_policy) as pool:
+        with activate(tracer), \
+                SessionPool(store, cfg.session_config,
+                            capacity=cfg.pool_capacity,
+                            policy=cfg.pool_policy) as pool:
             while pending or waiting or deferred or running or holding:
                 # Fixpoint at the current clock: admissions can unblock
                 # dispatches, completions free workers and locks, closed
@@ -710,6 +824,7 @@ class AsyncServingEngine(ServingEngine):
                     # flight, all locks and workers are free.
                     raise ConfigError("cooperative scheduler deadlock")
                 clock = max(clock, min(horizon))
+                tick(clock)
             pool_stats = pool.stats.as_dict()
 
         wall_clock = time.perf_counter() - t_run
@@ -723,9 +838,10 @@ class AsyncServingEngine(ServingEngine):
             graph_versions={name: (store.version(name).version,
                                    store.digest(name))
                             for name in store.names()},
-            rejected=rejected, workers=cfg.workers, decisions=decisions)
+            rejected=rejected, workers=cfg.workers,
+            metrics=registry.snapshot())
         aggs = summarize(records, pool_stats, wall_clock,
-                         update_records, updates_coalesced)
+                         update_records, int(c_riders.value))
         aggs.update(concurrency_profile(records, update_records))
         aggs["n_rejected"] = len(rejected)
         aggs["n_deferred"] = int(sum(r.deferred for r in records)

@@ -25,6 +25,7 @@ from typing import Callable, Mapping
 from repro.core.config import LCCConfig
 from repro.graph.csr import CSRGraph
 from repro.graphstore.store import GraphStore
+from repro.obs.trace import span as obs_span
 from repro.serve.request import SessionKey
 from repro.session import Session
 from repro.utils.errors import ConfigError
@@ -141,19 +142,22 @@ class SessionPool:
         self._clock += 1
         entry = self._entries.get(key)
         built = entry is None
-        if built:
-            _, overrides = key
-            # Validate before evicting: a bad key must not cost a warm
-            # resident session.
-            graph = self.graph_for(key)
-            if len(self._entries) >= self.capacity:
-                self._evict_one()
-            entry = _Entry(Session(graph,
-                                   self.config_for(graph, dict(overrides))))
-            self._entries[key] = entry
-            self.stats.builds += 1
-        else:
-            self.stats.reuses += 1
+        with obs_span("acquire", cat="pool", graph=key[0],
+                      built=built) as sp:
+            if built:
+                _, overrides = key
+                # Validate before evicting: a bad key must not cost a
+                # warm resident session.
+                graph = self.graph_for(key)
+                if len(self._entries) >= self.capacity:
+                    self._evict_one()
+                entry = _Entry(Session(
+                    graph, self.config_for(graph, dict(overrides))))
+                self._entries[key] = entry
+                self.stats.builds += 1
+            else:
+                self.stats.reuses += 1
+            sp.note(resident=len(self._entries))
         entry.last_used = self._clock
         entry.uses += 1
         self.stats.queries[key] = self.stats.queries.get(key, 0) + 1
@@ -172,7 +176,9 @@ class SessionPool:
         else:
             victim = min(victims,
                          key=lambda k: self._entries[k].last_used)
-        self._entries.pop(victim).session.close()
+        with obs_span("evict", cat="pool", graph=victim[0],
+                      policy=self.policy):
+            self._entries.pop(victim).session.close()
         self.stats.evictions += 1
 
     # -- concurrency support (the cooperative engine) -----------------------

@@ -141,11 +141,29 @@ class ServeOutcome:
 
 @dataclass
 class AsyncServeOutcome(ServeOutcome):
-    """A cooperative serving run: adds shed records and overlap metrics."""
+    """A cooperative serving run: adds shed records and overlap metrics.
+
+    ``metrics`` is the engine's :class:`~repro.obs.metrics
+    .MetricsRegistry` snapshot — every event-loop counter under one
+    roof.  The historical ad-hoc counters (``decisions``,
+    ``queue_steps``) remain available as properties reading that
+    snapshot, so nothing downstream changed shape when they moved into
+    the registry.
+    """
 
     rejected: list[RejectRecord] = field(default_factory=list)
     workers: int = 1
-    decisions: int = 0    # dispatch decisions the event loop made
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def decisions(self) -> int:
+        """Dispatch decisions the event loop made (registry-backed)."""
+        return int(self.metrics.get("engine.decisions", 0))
+
+    @property
+    def queue_steps(self) -> int:
+        """Total times runnable tasks were passed over (registry-backed)."""
+        return int(self.metrics.get("engine.queue_steps", 0))
 
     def rejected_qids(self) -> set[int]:
         return {r.qid for r in self.rejected}

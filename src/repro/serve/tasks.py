@@ -95,6 +95,18 @@ class Committed:
     worker: int
 
 
+def effect_name(effect) -> str:
+    """The decision journal's label for a pending effect.
+
+    The journal's ``dispatch`` events name what the task model is about
+    to do (``"acquire"`` for a query, ``"hold"`` for an update leader)
+    in the task vocabulary rather than the request vocabulary — the
+    suspension point, not the payload.  ``"done"`` labels a completed
+    task (never dispatched, but reachable from debug tooling).
+    """
+    return "done" if effect is None else type(effect).__name__.lower()
+
+
 class Task:
     """One request's resumable execution state inside the event loop."""
 

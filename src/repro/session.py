@@ -59,6 +59,7 @@ from repro.graph.csr import CSRGraph
 from repro.graph.distributed import DistributedCSR
 from repro.graphstore.grid2d import GridCluster2D
 from repro.graphstore.resident import Cluster1D, ClusterResync, ResidentCluster
+from repro.obs.trace import span as obs_span
 from repro.runtime.engine import Engine
 from repro.utils.errors import ConfigError, KernelError
 
@@ -404,8 +405,13 @@ class Session:
         self.graph = res.graph
         self.updates_applied += 1
         outcome = UpdateOutcome(delta=res)
-        for cluster in self.clusters():
-            outcome.fold(cluster.resync(res, rekey=rekey))
+        with obs_span("resync", cat="session",
+                      graph=getattr(res.graph, "name", None) or "",
+                      n_affected=int(res.affected.shape[0])) as sp:
+            for cluster in self.clusters():
+                outcome.fold(cluster.resync(res, rekey=rekey))
+            sp.note(invalidated=outcome.invalidated_entries,
+                    rekeyed=outcome.rekeyed_entries)
         return outcome
 
     # -- resident clusters ---------------------------------------------------

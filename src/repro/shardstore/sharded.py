@@ -49,6 +49,7 @@ from typing import Callable, Iterable, Mapping
 from repro.dynamic.delta import DeltaResult, UpdateBatch, apply_delta
 from repro.graph.csr import CSRGraph
 from repro.graphstore.store import GraphStore, GraphVersion, graph_digest
+from repro.obs.trace import span as obs_span
 from repro.shardstore.plan import ShardPlan
 from repro.utils.errors import ConfigError
 
@@ -279,23 +280,26 @@ class ShardedGraphStore:
         sub = plan.split_batch(batch)
         self._fenced.add(name)
         try:
-            pieces = []
-            for s in sorted(sub):
-                pieces.append((s, self._shards[name][s].apply(
-                    name, sub[s], strict=strict)))
-                if _on_subcommit is not None:
-                    _on_subcommit(name, s)
-            assembled = plan.assemble(
-                [store.graph(name) for store in self._shards[name]],
-                directed=head.directed, name=head.name)
-            if graph_digest(assembled) != graph_digest(res.graph):
-                # Per-shard application == whole-batch application is a
-                # structural invariant (the property suite pins it);
-                # serving from diverged shards would be silent
-                # corruption, so fail loudly mid-barrier.
-                raise ConfigError(
-                    f"sharded commit for {name!r} diverged from the "
-                    "unsharded application (assembly digest mismatch)")
+            with obs_span("barrier", cat="shard", graph=name,
+                          shards=sorted(sub)) as sp:
+                pieces = []
+                for s in sorted(sub):
+                    pieces.append((s, self._shards[name][s].apply(
+                        name, sub[s], strict=strict)))
+                    if _on_subcommit is not None:
+                        _on_subcommit(name, s)
+                assembled = plan.assemble(
+                    [store.graph(name) for store in self._shards[name]],
+                    directed=head.directed, name=head.name)
+                if graph_digest(assembled) != graph_digest(res.graph):
+                    # Per-shard application == whole-batch application
+                    # is a structural invariant (the property suite pins
+                    # it); serving from diverged shards would be silent
+                    # corruption, so fail loudly mid-barrier.
+                    raise ConfigError(
+                        f"sharded commit for {name!r} diverged from the "
+                        "unsharded application (assembly digest mismatch)")
+                sp.note(subcommits=len(pieces))
         finally:
             self._fenced.discard(name)
         self._heads[name] = res.graph
@@ -383,13 +387,15 @@ class ShardedGraphStore:
             raise ConfigError(
                 f"snapshot has {len(snap.shards)} shards, plan expects "
                 f"{plan.nshards}")
-        for s, (version, digest, piece) in enumerate(snap.shards):
-            store = GraphStore()
-            store.seed(name, piece, version=version, digest=digest)
-            self._shards[name][s] = store
-        self._heads[name] = snap.head
-        self._counts[name] = snap.version
-        self._log[name] = list(snap.log)
+        with obs_span("reseed", cat="shard", graph=name,
+                      version=snap.version, nshards=len(snap.shards)):
+            for s, (version, digest, piece) in enumerate(snap.shards):
+                store = GraphStore()
+                store.seed(name, piece, version=version, digest=digest)
+                self._shards[name][s] = store
+            self._heads[name] = snap.head
+            self._counts[name] = snap.version
+            self._log[name] = list(snap.log)
         if overwrite:  # signature symmetry with add(); seed always replaces
             self._fenced.discard(name)
         return GraphVersion(name, snap.version)

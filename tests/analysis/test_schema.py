@@ -1,0 +1,119 @@
+"""Schema validation for BENCH_*.json reports and trajectory rows."""
+
+import json
+
+import pytest
+
+from repro.analysis.benchreport import append_trajectory_row
+from repro.analysis.schema import (
+    REPORT_KINDS,
+    infer_kind,
+    required_keys,
+    validate_file,
+    validate_report,
+    validate_trajectory,
+    validate_trajectory_row,
+    validate_tree,
+)
+
+
+def _minimal_report(kind):
+    report = {key: {} for key in required_keys(kind)}
+    report["schema_version"] = 1
+    report["quick"] = True
+    return report
+
+
+def test_infer_kind_from_filenames():
+    assert infer_kind("BENCH_kernels.json") == "kernels"
+    assert infer_kind("/some/dir/BENCH_async.json") == "async"
+    assert infer_kind("BENCH_async_quick.json") is None
+    assert infer_kind("BENCH_trajectory.json") is None
+    assert infer_kind("report.json") is None
+
+
+def test_required_keys_unknown_kind():
+    with pytest.raises(ValueError, match="unknown report kind"):
+        required_keys("nope")
+
+
+@pytest.mark.parametrize("kind", sorted(REPORT_KINDS))
+def test_minimal_report_passes_per_kind(kind):
+    assert validate_report(_minimal_report(kind), kind) == []
+
+
+def test_missing_key_and_bad_schema_version():
+    report = _minimal_report("kernels")
+    del report["graphs"]
+    report["schema_version"] = 0
+    problems = validate_report(report, "kernels")
+    assert any("missing key 'graphs'" in p for p in problems)
+    assert any("schema_version" in p for p in problems)
+
+
+def test_baseline_mode_accepts_partial_reports():
+    # --check baselines may be partial: only the compared sections exist.
+    partial = {"cached_replay": {"lcc:g": {"warm_speedup": 8.0}}}
+    assert validate_report(partial, "kernels", strict=False) == []
+    # But anything present must still be well-formed.
+    assert validate_report({"schema_version": "one"}, "kernels",
+                           strict=False)
+    assert validate_report({"x": float("nan")}, "kernels", strict=False)
+
+
+def test_non_finite_numbers_rejected():
+    report = _minimal_report("kernels")
+    report["kernels"] = {"lcc:g": {"wall_clock_s": float("nan")}}
+    problems = validate_report(report, "kernels")
+    assert any("non-finite" in p and "wall_clock_s" in p for p in problems)
+
+
+def test_non_dict_report():
+    assert validate_report([1, 2], "kernels")
+    assert validate_report(None) != []
+
+
+def test_trajectory_row_validation():
+    good = {"date": "2026-08-08", "kind": "async", "speedup": 2.0}
+    assert validate_trajectory_row(good) == []
+    assert validate_trajectory_row({"date": "yesterday", "x": 1})
+    assert validate_trajectory_row({"date": "2026-08-08"})  # no payload
+    assert validate_trajectory_row(
+        {"date": "2026-08-08", "x": float("inf")})
+
+
+def test_trajectory_document_validation():
+    good = {"schema_version": 1,
+            "rows": [{"date": "2026-01-01", "n": 3}]}
+    assert validate_trajectory(good) == []
+    assert validate_trajectory({"schema_version": 1, "rows": "nope"})
+    bad_row = {"schema_version": 1, "rows": [{"n": 3}]}
+    problems = validate_trajectory(bad_row)
+    assert any("row 0" in p for p in problems)
+
+
+def test_validate_file_dispatch(tmp_path):
+    p = tmp_path / "BENCH_kernels.json"
+    p.write_text(json.dumps(_minimal_report("kernels")))
+    assert validate_file(str(p)) == []
+    t = tmp_path / "BENCH_trajectory.json"
+    t.write_text(json.dumps({"schema_version": 1, "rows": []}))
+    assert validate_file(str(t)) == []
+    missing = validate_file(str(tmp_path / "BENCH_store.json"))
+    assert missing and "does not exist" in missing[0]
+    corrupt = tmp_path / "BENCH_async.json"
+    corrupt.write_text("{not json")
+    assert any("not valid JSON" in p for p in validate_file(str(corrupt)))
+    problems = validate_tree([str(p), str(corrupt)])
+    assert len(problems) == 1 and str(corrupt) in problems[0]
+
+
+def test_append_refuses_malformed_row(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    with pytest.raises(ValueError, match="malformed trajectory row"):
+        append_trajectory_row({"date": "not-a-date", "x": 1}, path)
+    # A good row still appends.
+    row = append_trajectory_row({"date": "2026-08-08", "x": 1}, path)
+    assert row["x"] == 1
+    data = json.loads(open(path).read())
+    assert len(data["rows"]) == 1

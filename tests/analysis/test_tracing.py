@@ -1,0 +1,95 @@
+"""The ``repro trace`` command: artifacts, summary, and the gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracing import (
+    TRACE_REPORT_KEYS,
+    check_traced_run,
+    format_check_report,
+    one_off_trace_run,
+)
+from repro.cli import main
+from repro.obs.journal import DecisionJournal, replay_journal
+
+
+@pytest.fixture(scope="module")
+def check_report():
+    return check_traced_run(quick=True, repeats=1)
+
+
+def test_check_report_shape_and_verdict(check_report):
+    for key in TRACE_REPORT_KEYS:
+        assert key in check_report, key
+    assert check_report["ok"], check_report["problems"]
+    assert check_report["digests_identical"] is True
+    assert check_report["journal_deterministic"] is True
+    assert check_report["replay"]["ok"] is True
+    assert check_report["span_problems"] == []
+    assert check_report["overhead_ratio"] >= 0.0
+    json.dumps(check_report)
+
+
+def test_format_check_report_lines(check_report):
+    lines = format_check_report(check_report)
+    assert any("parity" in line for line in lines)
+    assert any("overhead" in line for line in lines)
+
+
+def test_one_off_writes_replayable_artifacts(tmp_path):
+    journal_path = str(tmp_path / "journal.jsonl")
+    trace_path = str(tmp_path / "trace.json")
+    payload = one_off_trace_run(journal_path=journal_path,
+                                trace_path=trace_path, quick=True)
+    assert payload["replay"]["ok"], payload["replay"]["problems"]
+    assert payload["span_problems"] == []
+    # The written journal round-trips and matches the in-memory digest.
+    journal = DecisionJournal.load(journal_path)
+    assert journal.digest() == payload["journal_digest"]
+    assert len(journal) == payload["n_events"]
+    # Replay works from the serialized form too.
+    from repro.analysis.tracing import trace_workload
+
+    _, requests, _ = trace_workload(quick=True)
+    assert replay_journal(journal, requests).ok
+    doc = json.loads(open(trace_path).read())
+    assert doc["traceEvents"]
+    # Domains in the utilization report include shard-set fences.
+    assert any("[" in key for key in payload["utilization"]["domains"])
+
+
+def test_cli_trace_one_off(tmp_path, capsys):
+    journal = str(tmp_path / "j.jsonl")
+    trace = str(tmp_path / "t.json")
+    rc = main(["trace", "--quick", "--json",
+               "--journal", journal, "--trace", trace])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["replay"]["ok"] is True
+    assert json.loads(open(trace).read())["traceEvents"]
+
+
+def test_cli_trace_interleave_scheduler(tmp_path, capsys):
+    rc = main(["trace", "--quick", "--json", "--scheduler", "interleave",
+               "--seed", "3",
+               "--journal", str(tmp_path / "j.jsonl"),
+               "--trace", str(tmp_path / "t.json")])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scheduler"] == "interleave"
+    assert payload["replay"]["ok"] is True
+
+
+def test_cli_trace_check_rejects_customization(tmp_path):
+    with pytest.raises(SystemExit, match="pinned gate workload"):
+        main(["trace", "--quick", "--check", "--scheduler", "interleave"])
+
+
+def test_check_flags_artifact_problems(tmp_path, monkeypatch):
+    bad = tmp_path / "BENCH_async.json"
+    bad.write_text("{broken")
+    monkeypatch.chdir(tmp_path)
+    report = check_traced_run(quick=True, repeats=1)
+    assert not report["ok"]
+    assert any("artifact schema" in p for p in report["problems"])

@@ -1,0 +1,104 @@
+"""Exporters: Chrome trace structure and the utilization breakdown."""
+
+import json
+
+import pytest
+
+from repro.obs import Observation
+from repro.obs.export import chrome_trace, utilization_report
+from repro.obs.trace import SpanTracer
+from repro.serve.engine import AsyncServeConfig, AsyncServingEngine
+from repro.serve.records import concurrency_profile
+from repro.serve.scheduler import FIFOScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.shardstore import ShardedGraphStore, annotate_shard_sets
+
+
+@pytest.fixture(scope="module")
+def traced():
+    catalog = default_catalog(scale=0.2)
+    requests = generate_workload(
+        WorkloadSpec(n_queries=30, arrival_rate=2500.0, n_tenants=6,
+                     graphs=tuple(catalog), kernels=("lcc",),
+                     seed=9, update_mix=0.3), catalog)
+
+    def sharded(c):
+        return ShardedGraphStore(c, nshards=4, nranks=4)
+
+    requests = annotate_shard_sets(requests, sharded(catalog))
+    obs = Observation.enabled()
+    outcome = AsyncServingEngine(
+        catalog,
+        AsyncServeConfig(nranks=4, threads=2, pool_capacity=3, workers=4),
+        scheduler=FIFOScheduler(), store_factory=sharded,
+        observation=obs).serve(requests)
+    return outcome, obs, requests
+
+
+def test_chrome_trace_structure(traced):
+    _, obs, _ = traced
+    doc = chrome_trace(obs.tracer.spans, label="test trace")
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in meta)
+    assert any(e["name"] == "thread_name" for e in meta)
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert complete and instants
+    for e in complete:
+        assert e["dur"] > 0
+        assert e["ts"] >= 0
+    # The document must be plain JSON (what chrome://tracing loads).
+    json.dumps(doc)
+
+
+def test_chrome_trace_rows_are_workers(traced):
+    _, obs, _ = traced
+    doc = chrome_trace(obs.tracer.spans)
+    tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] != "M"}
+    workers = {s.worker for s in obs.tracer.spans if s.worker is not None}
+    assert tids <= workers | {0}
+
+
+def test_chrome_trace_instants_for_zero_duration():
+    tracer = SpanTracer()
+    tracer.emit("commit", cat="store", t0=1.0, t1=1.0, worker=0, graph="g")
+    doc = chrome_trace(tracer.spans)
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] not in ("M",)]
+    assert event["ph"] == "i"
+    assert event["args"]["graph"] == "g"
+
+
+def test_utilization_domains_split_by_shard_set(traced):
+    outcome, _, requests = traced
+    report = utilization_report(outcome.records, outcome.update_records,
+                                requests=requests, workers=4)
+    domains = report["domains"]
+    # Queries land in whole-graph domains; annotated updates in
+    # graph[s0,...] domains.
+    assert any("[" not in key for key in domains)
+    assert any("[" in key for key in domains)
+    n_queries = sum(r["n_queries"] for r in domains.values())
+    n_updates = sum(r["n_updates"] for r in domains.values())
+    assert n_queries == len(outcome.records)
+    assert n_updates == len(outcome.update_records)
+    for row in domains.values():
+        assert 0.0 <= row["busy_fraction"] <= 1.0 + 1e-9
+        assert "utilization" in row
+    json.dumps(report)
+
+
+def test_utilization_overall_is_concurrency_profile(traced):
+    outcome, _, requests = traced
+    report = utilization_report(outcome.records, outcome.update_records,
+                                requests=requests)
+    assert report["overall"] == concurrency_profile(
+        outcome.records, outcome.update_records)
+    assert report["makespan_s"] > 0
+
+
+def test_utilization_empty_run():
+    report = utilization_report([], [])
+    assert report["makespan_s"] == 0.0
+    assert report["domains"] == {}

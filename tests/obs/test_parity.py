@@ -1,0 +1,101 @@
+"""Observability must never perturb the simulation: traced == untraced."""
+
+import pytest
+
+from repro.obs import Observation
+from repro.obs.trace import active_tracer, check_spans
+from repro.serve.engine import (
+    AsyncServeConfig,
+    AsyncServingEngine,
+    answers_identical,
+)
+from repro.serve.scheduler import FIFOScheduler, InterleaveScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.shardstore import ShardedGraphStore, annotate_shard_sets
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def requests(catalog):
+    return generate_workload(
+        WorkloadSpec(n_queries=32, arrival_rate=2500.0, n_tenants=6,
+                     graphs=tuple(catalog), kernels=("lcc", "tc"),
+                     seed=13, update_mix=0.3), catalog)
+
+
+def _config():
+    return AsyncServeConfig(nranks=4, threads=2, pool_capacity=3, workers=4)
+
+
+def _serve(catalog, requests, observation=None, scheduler=None,
+           store_factory=None):
+    return AsyncServingEngine(
+        catalog, _config(), scheduler=scheduler or FIFOScheduler(),
+        store_factory=store_factory, observation=observation
+    ).serve(requests)
+
+
+def test_traced_run_bit_identical_to_untraced(catalog, requests):
+    plain = _serve(catalog, requests)
+    obs = Observation.enabled()
+    traced = _serve(catalog, requests, observation=obs)
+    assert answers_identical(plain, traced)
+    assert plain.digests() == traced.digests()
+    assert plain.metrics == traced.metrics
+    assert len(obs.tracer.spans) > 0
+    assert len(obs.journal) > 0
+
+
+def test_traced_parity_under_interleavings(catalog, requests):
+    for seed in (1, 4):
+        plain = _serve(catalog, requests,
+                       scheduler=InterleaveScheduler(seed))
+        obs = Observation.enabled()
+        traced = _serve(catalog, requests, observation=obs,
+                        scheduler=InterleaveScheduler(seed))
+        assert answers_identical(plain, traced)
+
+
+def test_traced_parity_over_sharded_store(catalog, requests):
+    def sharded(c):
+        return ShardedGraphStore(c, nshards=4, nranks=4)
+
+    annotated = annotate_shard_sets(requests, sharded(catalog))
+    plain = _serve(catalog, annotated, store_factory=sharded)
+    obs = Observation.enabled()
+    traced = _serve(catalog, annotated, observation=obs,
+                    store_factory=sharded)
+    assert answers_identical(plain, traced)
+    names = {s.name for s in obs.tracer.spans}
+    # The sharded path contributes its own taxonomy entries.
+    assert "barrier" in names
+    assert check_spans(obs.tracer.spans) == []
+
+
+def test_span_tree_well_formed_and_taxonomy(catalog, requests):
+    obs = Observation.enabled()
+    _serve(catalog, requests, observation=obs)
+    assert check_spans(obs.tracer.spans) == []
+    names = {s.name for s in obs.tracer.spans}
+    for expected in ("run", "hold", "commit", "acquire", "resync"):
+        assert expected in names, expected
+
+
+def test_tracer_deactivated_after_serve(catalog, requests):
+    obs = Observation.enabled()
+    _serve(catalog, requests, observation=obs)
+    # The engine's activation is scoped to serve(); nothing leaks.
+    assert active_tracer() is None
+
+
+def test_outcome_metrics_registry_backed(catalog, requests):
+    outcome = _serve(catalog, requests)
+    assert outcome.decisions == outcome.metrics["engine.decisions"]
+    assert outcome.queue_steps == outcome.metrics["engine.queue_steps"]
+    assert outcome.metrics["engine.admitted"] == len(requests)
+    held = outcome.metrics["engine.window_held_s"]
+    assert held["count"] == outcome.metrics["engine.commits"]

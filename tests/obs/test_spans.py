@@ -1,0 +1,95 @@
+"""Span tracing: nesting, activation, the no-op path, well-formedness."""
+
+from repro.obs.trace import (
+    SpanTracer,
+    activate,
+    active_tracer,
+    check_spans,
+    span,
+)
+
+
+def test_disabled_span_is_shared_noop():
+    assert active_tracer() is None
+    with span("acquire", cat="pool") as a, span("evict", cat="pool") as b:
+        a.note(x=1)       # must be accepted and dropped
+        a.end_at(5.0)
+    assert a is b         # one shared singleton, no allocation per call
+
+
+def test_activate_installs_and_restores():
+    tracer = SpanTracer()
+    with activate(tracer):
+        assert active_tracer() is tracer
+        with activate(None):
+            # Nested deactivation: layers below a non-traced engine run.
+            assert active_tracer() is None
+        assert active_tracer() is tracer
+        with span("acquire", cat="pool", graph="g"):
+            pass
+    assert active_tracer() is None
+    assert [s.name for s in tracer.spans] == ["acquire"]
+    assert tracer.spans[0].attrs["graph"] == "g"
+
+
+def test_lexical_nesting_parents_children():
+    tracer = SpanTracer()
+    tracer.now = 2.0
+    with activate(tracer):
+        with span("commit", cat="task") as outer:
+            with span("resync", cat="session"):
+                with span("invalidate", cat="cache"):
+                    pass
+            outer.end_at(3.0)
+    # Spans append at context exit: innermost first.
+    by_name = {s.name: s for s in tracer.spans}
+    commit, resync, invalidate = (by_name["commit"], by_name["resync"],
+                                  by_name["invalidate"])
+    assert resync.parent == commit.sid
+    assert invalidate.parent == resync.sid
+    assert commit.t0 == 2.0 and commit.t1 == 3.0
+    assert resync.t0 == 2.0    # instants stamp at the simulated clock
+    assert check_spans(tracer.spans) == []
+
+
+def test_emit_explicit_intervals():
+    tracer = SpanTracer()
+    s = tracer.emit("run", cat="task", t0=1.0, t1=2.5, worker=3, qid=7)
+    assert s.duration == 1.5
+    assert s.worker == 3
+    assert s.attrs["qid"] == 7
+    assert check_spans(tracer.spans) == []
+
+
+def test_check_spans_catches_orphans_and_inversions():
+    tracer = SpanTracer()
+    # emit clamps t1 to t0, so corrupt a span after the fact.
+    inverted = tracer.emit("run", cat="task", t0=2.0, t1=3.0, worker=0)
+    inverted.t1 = 1.0
+    bad = tracer.emit("run", cat="task", t0=0.0, t1=0.5, worker=0)
+    bad.parent = 999
+    problems = check_spans(tracer.spans)
+    assert any("ends before it starts" in p for p in problems)
+    assert any("orphan parent 999" in p for p in problems)
+
+
+def test_check_spans_catches_same_worker_task_overlap():
+    tracer = SpanTracer()
+    tracer.emit("run", cat="task", t0=0.0, t1=2.0, worker=1)
+    tracer.emit("run", cat="task", t0=1.0, t1=3.0, worker=1)
+    assert check_spans(tracer.spans)
+    # Different workers may overlap freely.
+    t2 = SpanTracer()
+    t2.emit("run", cat="task", t0=0.0, t1=2.0, worker=1)
+    t2.emit("run", cat="task", t0=1.0, t1=3.0, worker=2)
+    assert check_spans(t2.spans) == []
+
+
+def test_wall_clock_only_in_attrs():
+    tracer = SpanTracer()
+    with activate(tracer):
+        with span("invalidate", cat="cache"):
+            pass
+    s = tracer.spans[0]
+    assert s.t0 == s.t1 == tracer.now    # simulated instant
+    assert s.attrs["wall_s"] >= 0.0      # measured wall time, attr only
