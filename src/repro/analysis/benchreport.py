@@ -6,7 +6,12 @@ time, triangle counts and cache hit rates, plus a ``cached_replay``
 section that measures the batched cache replay (:mod:`repro.core.replay`)
 against the per-edge scalar loop it replaced — cold (first query, mostly
 compulsory misses) and warm (the paper's reuse regime, a second
-``keep_cache=True`` query against the resident session cluster).
+``keep_cache=True`` query against the resident session cluster).  A
+``linalg`` section does the same for the algebraic 2D kernels: the
+masked-SpGEMM ``tc2d_spgemm`` replay vs. the edge-centric ``tc2d``
+scalar loop, and the batched cached-grid ``tc2d`` replay vs. the scalar
+cached loop, all on the :data:`BENCH_GRID_NRANKS` square grid and gated
+bit-identical against their oracles.
 
 The JSON is committed at the repo root so every PR leaves a perf data
 point behind; CI runs ``repro bench --quick`` as a smoke test and uploads
@@ -24,7 +29,7 @@ from typing import Any, Mapping
 from repro.core.config import CacheSpec, LCCConfig
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import powerlaw_configuration, rmat
-from repro.session import Session, get_kernel, kernel_names
+from repro.session import Session, get_kernel, kernel_names, run_kernel
 
 SCHEMA_VERSION = 1
 
@@ -33,9 +38,16 @@ SCHEMA_VERSION = 1
 BENCH_NRANKS = 8
 BENCH_THREADS = 4
 
+#: Rank count for square-grid-only kernels (``tc2d_spgemm``/``lcc2d``)
+#: and the ``linalg`` section: the default ``BENCH_NRANKS = 8`` factors
+#: into a rectangular 2x4 grid the SUMMA kernels refuse, so they run on
+#: the nearest square grid instead.
+BENCH_GRID_NRANKS = 9
+
 #: Keys every report carries (pinned by tests and downstream tooling).
 REPORT_KEYS = ("schema_version", "quick", "nranks", "threads",
-               "graphs", "kernels", "cached_replay")
+               "grid_nranks", "graphs", "kernels", "cached_replay",
+               "linalg")
 
 
 def bench_graphs(quick: bool = False) -> dict[str, CSRGraph]:
@@ -55,10 +67,10 @@ def bench_graphs(quick: bool = False) -> dict[str, CSRGraph]:
     }
 
 
-def _bench_config(graph: CSRGraph, cached: bool, fast_path: bool = True
-                  ) -> LCCConfig:
+def _bench_config(graph: CSRGraph, cached: bool, fast_path: bool = True,
+                  nranks: int = BENCH_NRANKS) -> LCCConfig:
     cache = CacheSpec.relative(graph.nbytes, 0.5, 1.0) if cached else None
-    return LCCConfig(nranks=BENCH_NRANKS, threads=BENCH_THREADS, cache=cache,
+    return LCCConfig(nranks=nranks, threads=BENCH_THREADS, cache=cache,
                      fast_path=fast_path)
 
 
@@ -71,9 +83,13 @@ def bench_kernel(graph: CSRGraph, kernel: str) -> dict[str, Any]:
 
     Resident kernels (lcc/tc) run cached through the batched replay; the
     baselines run their own cluster shapes uncached, as in their papers.
+    Square-grid-only kernels run at :data:`BENCH_GRID_NRANKS` (the default
+    rank count is rectangular); the row records which shape was used.
     """
-    cached = get_kernel(kernel).resident
-    with Session(graph, _bench_config(graph, cached)) as session:
+    spec = get_kernel(kernel)
+    nranks = BENCH_GRID_NRANKS if spec.square_grid_only else BENCH_NRANKS
+    with Session(graph, _bench_config(graph, spec.resident,
+                                      nranks=nranks)) as session:
         t0 = time.perf_counter()
         result = session.run(kernel)
         wall = time.perf_counter() - t0
@@ -83,6 +99,7 @@ def bench_kernel(graph: CSRGraph, kernel: str) -> dict[str, Any]:
         "global_triangles": int(result.global_triangles),
         "adj_hit_rate": _hit_rate(result.adj_cache_stats),
         "offsets_hit_rate": _hit_rate(result.offsets_cache_stats),
+        "nranks": nranks,
     }
 
 
@@ -132,6 +149,112 @@ def bench_cached_replay(graph: CSRGraph, kernel: str) -> dict[str, Any]:
     }
 
 
+def bench_linalg(graph: CSRGraph) -> dict[str, Any]:
+    """Masked-SpGEMM replay vs. the edge-centric scalar loop, uncached.
+
+    Both sides run as resident sessions on the :data:`BENCH_GRID_NRANKS`
+    square grid: the ``tc2d_spgemm`` kernel replays the packed SUMMA
+    panels vectorized, the ``tc2d`` kernel is forced through its scalar
+    per-round loop (``fast_path=False``).  Warm is the second query on
+    the resident cluster — the regime the panels were built for.
+    ``bit_identical`` asserts clocks, traces and triangle counts match
+    the throwaway-oracle :func:`~repro.core.tc2d.run_distributed_tc_2d`
+    on top of each other, and that ``lcc2d`` reproduces the 1D ``lcc``
+    scores exactly.
+    """
+    import numpy as np
+
+    from repro.core.tc2d import run_distributed_tc_2d
+
+    cfg = _bench_config(graph, cached=False, nranks=BENCH_GRID_NRANKS)
+    oracle = run_distributed_tc_2d(graph, cfg)
+    spgemm = Session(graph, cfg)
+    loop = Session(graph, _bench_config(graph, cached=False,
+                                        fast_path=False,
+                                        nranks=BENCH_GRID_NRANKS))
+    try:
+        rs_cold = spgemm.run("tc2d_spgemm")
+        rl_cold = loop.run("tc2d")
+        t0 = time.perf_counter()
+        rs_warm = spgemm.run("tc2d_spgemm")
+        spgemm_warm = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rl_warm = loop.run("tc2d")
+        loop_warm = time.perf_counter() - t0
+        lcc2d = spgemm.run("lcc2d")
+    finally:
+        spgemm.close()
+        loop.close()
+    lcc1d = run_kernel("lcc", graph, cfg)
+    identical = all(
+        r.outcome.clocks == oracle.outcome.clocks
+        and r.global_triangles == oracle.global_triangles
+        for r in (rs_cold, rs_warm, rl_cold, rl_warm)
+    ) and bool(
+        np.array_equal(lcc2d.lcc, lcc1d.lcc)
+        and np.array_equal(lcc2d.triangles_per_vertex,
+                           lcc1d.triangles_per_vertex)
+        and lcc2d.global_triangles == oracle.global_triangles
+    )
+    return {
+        "warm_wall_clock_loop_s": loop_warm,
+        "warm_wall_clock_spgemm_s": spgemm_warm,
+        "warm_speedup": loop_warm / spgemm_warm,
+        "bit_identical": identical,
+        "global_triangles": int(oracle.global_triangles),
+        "nranks": BENCH_GRID_NRANKS,
+    }
+
+
+def bench_cached_tc2d(graph: CSRGraph) -> dict[str, Any]:
+    """Batched cached-grid replay vs. the scalar cached loop for ``tc2d``.
+
+    The deferred follow-up from the replay PR: on a square grid, warm
+    cached ``tc2d`` queries ride :meth:`ClampiCache.access_batch` over
+    the resident SUMMA panel stream instead of the per-round scalar
+    ``ctx.get`` loop.  ``bit_identical`` covers clocks, results *and*
+    the per-rank CLaMPI cache statistics of the resident block caches.
+    """
+    grid_ranks = BENCH_GRID_NRANKS
+    fast = Session(graph, _bench_config(graph, cached=True,
+                                        nranks=grid_ranks))
+    loop = Session(graph, _bench_config(graph, cached=True, fast_path=False,
+                                        nranks=grid_ranks))
+    try:
+        t0 = time.perf_counter()
+        rf_cold = fast.run("tc2d", keep_cache=True)
+        fast_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rl_cold = loop.run("tc2d", keep_cache=True)
+        loop_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rf_warm = fast.run("tc2d", keep_cache=True)
+        fast_warm = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rl_warm = loop.run("tc2d", keep_cache=True)
+        loop_warm = time.perf_counter() - t0
+        stats_fast = [c.stats.snapshot() for c in fast._c2d.caches]
+        stats_loop = [c.stats.snapshot() for c in loop._c2d.caches]
+    finally:
+        fast.close()
+        loop.close()
+    identical = stats_fast == stats_loop and all(
+        rf.outcome.clocks == rl.outcome.clocks
+        and rf.global_triangles == rl.global_triangles
+        for rf, rl in ((rf_cold, rl_cold), (rf_warm, rl_warm))
+    )
+    return {
+        "cold_wall_clock_loop_s": loop_cold,
+        "cold_wall_clock_batched_s": fast_cold,
+        "cold_speedup": loop_cold / fast_cold,
+        "warm_wall_clock_loop_s": loop_warm,
+        "warm_wall_clock_batched_s": fast_warm,
+        "warm_speedup": loop_warm / fast_warm,
+        "bit_identical": identical,
+        "nranks": grid_ranks,
+    }
+
+
 def run_bench(quick: bool = False,
               graphs: Mapping[str, CSRGraph] | None = None) -> dict[str, Any]:
     """Produce the full report dict (see module docstring for the shape)."""
@@ -141,10 +264,12 @@ def run_bench(quick: bool = False,
         "quick": quick,
         "nranks": BENCH_NRANKS,
         "threads": BENCH_THREADS,
+        "grid_nranks": BENCH_GRID_NRANKS,
         "graphs": {name: {"vertices": g.n, "edges": g.m}
                    for name, g in graphs.items()},
         "kernels": {},
         "cached_replay": {},
+        "linalg": {},
     }
     for gname, graph in graphs.items():
         for kernel in kernel_names():
@@ -163,6 +288,8 @@ def run_bench(quick: bool = False,
         for kernel in ("lcc", "tc"):
             report["cached_replay"][f"{kernel}:{gname}"] = \
                 bench_cached_replay(graph, kernel)
+        report["linalg"][f"tc2d_spgemm:{gname}"] = bench_linalg(graph)
+        report["linalg"][f"cached_tc2d:{gname}"] = bench_cached_tc2d(graph)
     return report
 
 
@@ -203,6 +330,14 @@ def write_report(report: Mapping[str, Any], path: str,
 #: loop speed (ratio ~0.1) or losing exactness, not 10% wall-clock jitter.
 DEFAULT_CHECK_TOLERANCE = 0.25
 
+#: Absolute warm-speedup floor for every ``linalg`` row (the algebraic
+#: replay vs. its scalar loop, and the batched cached-grid replay vs.
+#: the scalar cached loop).  Unlike the relative ``cached_replay`` gate,
+#: this is a hard contract from the kernels' acceptance criteria: the
+#: vectorized paths beat their loops by far more than 2x on every size,
+#: so 2x even on ``--quick`` runs only trips when a path degenerates.
+LINALG_SPEEDUP_FLOOR = 2.0
+
 
 def _min_warm_speedups(report: Mapping[str, Any]) -> dict[str, float]:
     """Per-kernel minimum warm speedup across that report's graphs."""
@@ -227,7 +362,10 @@ def check_against_baseline(report: Mapping[str, Any],
       per-edge loop oracle;
     * for each kernel the baseline records, the fresh report's worst warm
       loop-vs-batched speedup must stay above ``tolerance`` times the
-      baseline's — the warm fast path must not silently regress.
+      baseline's — the warm fast path must not silently regress;
+    * when the baseline carries a ``linalg`` section, every fresh
+      ``linalg`` row must be ``bit_identical`` and keep its warm speedup
+      above the absolute :data:`LINALG_SPEEDUP_FLOOR`.
 
     Graph names are *not* matched across reports (CI runs ``--quick``
     sizes against the committed full-size baseline); the per-kernel
@@ -248,6 +386,22 @@ def check_against_baseline(report: Mapping[str, Any],
             problems.append(
                 f"{key}: batched replay is no longer bit-identical to the "
                 "per-edge loop")
+    if baseline.get("linalg"):
+        linalg = report.get("linalg", {})
+        if not linalg:
+            problems.append(
+                "baseline records a linalg section but the fresh report "
+                "has none")
+        for key, row in sorted(linalg.items()):
+            if not row.get("bit_identical", False):
+                problems.append(
+                    f"{key}: algebraic replay is no longer bit-identical "
+                    "to its edge-centric oracle")
+            speedup = float(row["warm_speedup"])
+            if speedup < LINALG_SPEEDUP_FLOOR:
+                problems.append(
+                    f"{key}: warm speedup {speedup:.2f}x fell below the "
+                    f"absolute {LINALG_SPEEDUP_FLOOR:.1f}x floor")
     fresh = _min_warm_speedups(report)
     for kernel, floor in sorted(_min_warm_speedups(baseline).items()):
         if kernel not in fresh:
@@ -290,14 +444,18 @@ def trajectory_row(report: Mapping[str, Any], *,
     walls = [float(row["wall_clock_s"]) for row in kernels.values()]
     hits = [float(row["adj_hit_rate"]) for row in kernels.values()
             if row.get("adj_hit_rate") is not None]
+    linalg = [float(row["warm_speedup"])
+              for row in report.get("linalg", {}).values()]
     return {
         "date": date or datetime.date.today().isoformat(),
+        "kind": "kernels",
         "quick": bool(report.get("quick", False)),
         "n_kernels": len(kernels),
         "total_kernel_wall_s": sum(walls),
         "max_kernel_wall_s": max(walls, default=0.0),
         "mean_adj_hit_rate": (sum(hits) / len(hits)) if hits else 0.0,
         "min_warm_speedups": _min_warm_speedups(report),
+        "min_linalg_speedup": min(linalg, default=0.0),
     }
 
 

@@ -37,6 +37,7 @@ sizes and gates against the committed baseline with
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Any, Mapping
 
@@ -121,8 +122,13 @@ def bench_bit_identity(graph: CSRGraph, gname: str, *,
     kernels_identical = True
     kernels_checked = 0
     for kernel in kernel_names():
-        if get_kernel(kernel).undirected_only and graph.directed:
+        spec = get_kernel(kernel)
+        if spec.undirected_only and graph.directed:
             continue
+        if spec.square_grid_only and \
+                math.isqrt(SHARD_NRANKS) ** 2 != SHARD_NRANKS:
+            continue  # SUMMA kernels need a square grid
+
         rs = run_kernel(kernel, sharded.graph(name), config)
         ru = run_kernel(kernel, plain.graph(name), config)
         kernels_identical = kernels_identical and (

@@ -101,6 +101,8 @@ def cmd_kernels(args) -> int:
             traits.append("resident")
         if spec.undirected_only:
             traits.append("undirected-only")
+        if spec.square_grid_only:
+            traits.append("square-grid")
         suffix = f"  [{', '.join(traits)}]" if traits else ""
         print(f"{name:12s} {spec.description}{suffix}")
     return 0
@@ -259,6 +261,11 @@ def cmd_bench(args) -> int:
     for name, row in report["cached_replay"].items():
         print(f"{name:22s} batched replay: cold {row['cold_speedup']:.1f}x, "
               f"warm {row['warm_speedup']:.1f}x vs loop  "
+              f"(bit-identical: {row['bit_identical']})")
+    for name, row in report.get("linalg", {}).items():
+        print(f"{name:22s} algebraic replay: warm "
+              f"{row['warm_speedup']:.1f}x vs loop on "
+              f"{row['nranks']} ranks  "
               f"(bit-identical: {row['bit_identical']})")
     print(f"report written to {args.json}", file=sys.stderr)
     if baseline is not None:

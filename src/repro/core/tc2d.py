@@ -117,9 +117,33 @@ _pack_block = pack_block
 _build_blocks = build_grid_blocks
 
 
-def require_square_grid(grid: GridPartition2D) -> bool:
-    """True when the SUMMA-style square-grid kernel applies."""
-    return grid.rows == grid.cols
+def require_square_grid(grid: GridPartition2D, *, kernel: str | None = None,
+                        strict: bool = False) -> bool:
+    """True when the SUMMA-style square-grid kernel applies.
+
+    The SUMMA round structure needs the row and column vertex blockings
+    to coincide, which only holds on square process grids.  With
+    ``strict=True`` a rectangular grid raises a :class:`ConfigError`
+    naming the kernel and suggesting the nearest square rank counts —
+    the guard the algebraic ``tc2d_spgemm``/``lcc2d`` kernels run behind
+    (the edge-centric ``tc2d`` instead falls back to the rectangular
+    path on a ``False`` return).
+    """
+    square = grid.rows == grid.cols
+    if strict and not square:
+        import math
+
+        root = math.isqrt(grid.nranks)
+        hints = sorted({root * root, (root + 1) * (root + 1)}
+                       - {grid.nranks})
+        raise ConfigError(
+            f"kernel {kernel or 'tc2d_spgemm'!r} needs a square process grid "
+            f"(SUMMA rounds share one vertex blocking), but nranks="
+            f"{grid.nranks} gives a {grid.rows}x{grid.cols} grid; choose a "
+            f"square rank count (e.g. {' or '.join(str(h) for h in hints)}) "
+            "or use the edge-centric 'tc2d' kernel, which supports "
+            "rectangular grids")
+    return square
 
 
 def execute_tc2d(engine: Engine, grid: GridPartition2D,

@@ -35,12 +35,20 @@ import numpy as np
 from repro.clampi.cache import ClampiCache, ClampiConfig
 from repro.clampi.stats import CacheStats
 from repro.core.config import CacheSpec, DistributedRunResult, LCCConfig
+from repro.core.lcc import _merged_stats
+from repro.core.linalg import (
+    build_round_streams,
+    execute_lcc2d,
+    execute_tc2d_spgemm,
+    summa_stats,
+)
 from repro.core.tc2d import (
     BLOCKS_WINDOW,
     build_block,
     build_grid_blocks,
     execute_tc2d,
     pack_block,
+    require_square_grid,
 )
 from repro.dynamic.delta import DeltaResult
 from repro.graph.csr import CSRGraph
@@ -105,6 +113,13 @@ class GridCluster2D(ResidentCluster):
         # state-epoch memo).  _epoch bumps whenever block state changes.
         self._epoch = 0
         self._memo: Optional[tuple[int, DistributedRunResult]] = None
+        # Resident SUMMA panels: the per-round masked-product tables and
+        # per-rank block-fetch streams the algebraic kernels
+        # (tc2d_spgemm / lcc2d) and the cached-tc2d batched replay run
+        # from.  Pure functions of block state, so they live and die
+        # with _epoch — a resync that swaps a block rebuilds them once,
+        # and every warm query after that replays the same tables.
+        self._panel_memo: Optional[tuple[int, Any, list]] = None
 
     @property
     def resident(self) -> bool:
@@ -155,23 +170,55 @@ class GridCluster2D(ResidentCluster):
         self.last_reused = not rebuilt
         return engine, self._grid, self._blocks, win, self._caches
 
+    def panel_state(self):
+        """The resident SUMMA panels: ``(stats, streams)`` for this epoch.
+
+        Built once per state epoch from the resident blocks (square
+        grids only) and reused by every warm ``tc2d_spgemm``/``lcc2d``
+        query and cached-tc2d batched replay until a resync swaps a
+        block (which bumps ``_epoch`` and retires the tables, exactly
+        like the result memo).
+        """
+        if self._panel_memo is None or self._panel_memo[0] != self._epoch:
+            stats = summa_stats(self.graph, self._grid, self._blocks)
+            streams = build_round_streams(self._grid, self._win)
+            self._panel_memo = (self._epoch, stats, streams)
+        return self._panel_memo[1], self._panel_memo[2]
+
     def execute(self, config: LCCConfig) -> DistributedRunResult:
         """Run the 2D triangle count on the resident grid.
 
-        With no block caches attached, a warm query over unchanged
-        blocks issues exactly the gets and multiplies of the previous
-        one — the result (triangles, per-rank clocks, traces) is fully
-        determined by block state, so it is **replayed** from the memo
-        instead of recomputed, bit-identically (fresh trace/clock
-        objects; nothing aliases the live contexts).  Cached runs always
-        execute, because hit/miss verdicts evolve with cache state.
+        Dispatch (mirroring the 1D kernels' ``fast_path`` contract):
+
+        * **cached, fast path, square grid** — the batched replay: the
+          per-rank block-fetch streams go through
+          :meth:`~repro.clampi.cache.ClampiCache.access_batch` and the
+          clocks/traces are rebuilt from the resident SUMMA tables,
+          bit-identical to the scalar loop (pinned by tests);
+        * **cached otherwise** — the scalar per-round loop (the oracle;
+          also the only path on rectangular grids, whose fallback has a
+          different access pattern);
+        * **cache-less, fast path** — a warm query over unchanged blocks
+          is fully determined by block state, so the previous result is
+          replayed from the state-epoch memo (fresh trace/clock objects;
+          nothing aliases the live contexts);
+        * ``fast_path=False`` always runs the scalar loop — the
+          reference oracle every fast path is pinned against.
         """
+        fast = config.fast_path and not config.record_ops
         if self._caches:
-            result = execute_tc2d(self._engine, self._grid, self._blocks,
-                                  self._win, config, self.graph)
+            if fast and require_square_grid(self._grid):
+                stats, streams = self.panel_state()
+                result = execute_tc2d_spgemm(
+                    self._engine, self._grid, self._blocks, self._win,
+                    config, self.graph, stats, streams,
+                    with_cache_stats=False)
+            else:
+                result = execute_tc2d(self._engine, self._grid, self._blocks,
+                                      self._win, config, self.graph)
             self._close_epochs()  # transparent-mode caches flush here
             return result
-        if self._memo is not None and self._memo[0] == self._epoch:
+        if fast and self._memo is not None and self._memo[0] == self._epoch:
             prev = self._memo[1]
             outcome = RunOutcome(
                 time=prev.outcome.time,
@@ -187,6 +234,39 @@ class GridCluster2D(ResidentCluster):
                               self._win, config, self.graph)
         self._close_epochs()
         self._memo = (self._epoch, result)
+        return result
+
+    def execute_spgemm(self, config: LCCConfig) -> DistributedRunResult:
+        """Run the algebraic ``tc2d_spgemm`` kernel on the resident grid.
+
+        Square grids only (strict guard).  ``fast_path=False`` runs the
+        scalar edge-centric loop instead — the two price the identical
+        program, so this doubles as the kernel's in-place oracle mode
+        (with the same merged block-cache statistics attached, so the
+        two modes stay comparable field for field).
+        """
+        require_square_grid(self._grid, kernel="tc2d_spgemm", strict=True)
+        if not config.fast_path or config.record_ops:
+            result = replace(
+                execute_tc2d(self._engine, self._grid, self._blocks,
+                             self._win, config, self.graph),
+                adj_cache_stats=_merged_stats(self._caches))
+        else:
+            stats, streams = self.panel_state()
+            result = execute_tc2d_spgemm(
+                self._engine, self._grid, self._blocks, self._win, config,
+                self.graph, stats, streams)
+        self._close_epochs()
+        return result
+
+    def execute_lcc2d(self, config: LCCConfig) -> DistributedRunResult:
+        """Run the ``lcc2d`` kernel on the resident grid (square only)."""
+        require_square_grid(self._grid, kernel="lcc2d", strict=True)
+        stats, streams = self.panel_state()
+        result = execute_lcc2d(
+            self._engine, self._grid, self._blocks, self._win, config,
+            self.graph, stats, streams)
+        self._close_epochs()
         return result
 
     def _configure_caches(self, config: LCCConfig, keep_cache: bool,
@@ -299,6 +379,8 @@ class GridCluster2D(ResidentCluster):
         self._blocks = []
         self._win = None
         self._cluster_key = None
+        self._panel_memo = None
+        self._memo = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "resident" if self.resident else "idle"

@@ -26,9 +26,11 @@ and serves any number of queries against it::
         })
 
 Kernels are registered by name (``@register_kernel``); the built-ins are
-``lcc``, ``tc``, ``tc2d``, ``tric``, ``disttc`` and ``mapreduce``, and each
-produces results **bit-identical** to its legacy entry point (pinned by
-tests).  New workloads — per-vertex triangle queries, top-k LCC, anything
+``lcc``, ``tc``, ``tc2d``, ``tc2d_spgemm``, ``lcc2d``, ``tric``,
+``disttc`` and ``mapreduce``, and each produces results **bit-identical**
+to its legacy entry point or oracle (pinned by tests).  The SUMMA-family
+kernels (``tc2d_spgemm``, ``lcc2d``) additionally require ``nranks`` to
+be a perfect square.  New workloads — per-vertex triangle queries, top-k LCC, anything
 expressible over the simulated cluster — plug in the same way::
 
     @register_kernel("top5-lcc", description="five most clustered vertices")
@@ -86,9 +88,13 @@ class KernelSpec:
 
     ``resident`` kernels execute on one of the session's resident
     clusters — the 1D partition (``lcc``/``tc``) or the 2D grid
-    (``tc2d``) — built once and reused across queries; the others own
-    their run's cluster shape (TriC's edge-balanced split, ...) and
-    build it per call, exactly like their legacy entry points.
+    (``tc2d``/``tc2d_spgemm``/``lcc2d``) — built once and reused across
+    queries; the others own their run's cluster shape (TriC's
+    edge-balanced split, ...) and build it per call, exactly like their
+    legacy entry points.  ``square_grid_only`` marks the SUMMA-family
+    kernels that require a square process grid (``nranks`` a perfect
+    square); they raise a :class:`~repro.utils.errors.ConfigError`
+    otherwise instead of silently falling back.
     """
 
     name: str
@@ -96,6 +102,7 @@ class KernelSpec:
     description: str = ""
     resident: bool = False
     undirected_only: bool = False
+    square_grid_only: bool = False
 
 
 _KERNELS: dict[str, KernelSpec] = {}
@@ -103,6 +110,7 @@ _KERNELS: dict[str, KernelSpec] = {}
 
 def register_kernel(name: str, *, description: str = "",
                     resident: bool = False, undirected_only: bool = False,
+                    square_grid_only: bool = False,
                     overwrite: bool = False) -> Callable:
     """Class-of-service decorator: make a function a named, runnable kernel.
 
@@ -118,7 +126,8 @@ def register_kernel(name: str, *, description: str = "",
                 "to replace it")
         _KERNELS[name] = KernelSpec(name=name, fn=fn, description=description,
                                     resident=resident,
-                                    undirected_only=undirected_only)
+                                    undirected_only=undirected_only,
+                                    square_grid_only=square_grid_only)
         return fn
     return decorator
 
@@ -505,8 +514,54 @@ def _kernel_tc(session: Session, config: LCCConfig, *,
                  description="asynchronous 2D-grid triangle count")
 def _kernel_tc2d(session: Session, config: LCCConfig, *,
                  keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    """Edge-centric 2D triangle count on the resident grid.
+
+    Runs on any grid shape (rectangular grids use the strip-fetch
+    fallback).  With block caches and ``fast_path`` on (the default),
+    warm square-grid queries take the batched ``access_batch`` replay —
+    bit-identical to the scalar loop, which ``fast_path=False`` keeps
+    as the oracle.
+    """
     session.resident_grid(config, keep_cache)
     return session._c2d.execute(config)
+
+
+@register_kernel("tc2d_spgemm", resident=True, undirected_only=True,
+                 square_grid_only=True,
+                 description="2D triangle count as masked SpGEMM "
+                             "(SUMMA panels)")
+def _kernel_tc2d_spgemm(session: Session, config: LCCConfig, *,
+                        keep_cache: bool = False, **_: Any
+                        ) -> DistributedRunResult:
+    """Algebraic triangle count: ``(A·A)∘A`` over block-cyclic SUMMA rounds.
+
+    Requires a **square** process grid (``nranks`` a perfect square);
+    rectangular grids raise a :class:`ConfigError` (see
+    :func:`repro.core.tc2d.require_square_grid`).  Counts, per-rank
+    clocks and traces are bit-identical to the edge-centric ``tc2d``
+    oracle; warm queries replay the resident SUMMA panel tables instead
+    of re-running the per-rank multiply loop.
+    """
+    session.resident_grid(config, keep_cache)
+    return session._c2d.execute_spgemm(config)
+
+
+@register_kernel("lcc2d", resident=True, undirected_only=True,
+                 square_grid_only=True,
+                 description="per-vertex LCC over the SUMMA grid "
+                             "(row-strip bookkeeping)")
+def _kernel_lcc2d(session: Session, config: LCCConfig, *,
+                  keep_cache: bool = False, **_: Any) -> DistributedRunResult:
+    """Per-vertex LCC on the 2D grid — the first 2D LCC formulation.
+
+    Requires a **square** process grid, like ``tc2d_spgemm`` (same
+    SUMMA rounds, same resident panels).  Scores and per-vertex triplet
+    counts are bit-identical to the 1D ``lcc`` kernel; the simulated
+    cost adds row-strip degree bookkeeping and a per-grid-row reduction
+    on top of the shared block fetches.
+    """
+    session.resident_grid(config, keep_cache)
+    return session._c2d.execute_lcc2d(config)
 
 
 @register_kernel("tric",

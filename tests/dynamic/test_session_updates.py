@@ -7,7 +7,7 @@ from repro.clampi.cache import ConsistencyMode
 from repro.core.config import CacheSpec, LCCConfig
 from repro.dynamic import IncrementalState, UpdateBatch, random_update_batch
 from repro.graph.generators import powerlaw_configuration
-from repro.session import Session, kernel_names
+from repro.session import Session, get_kernel, kernel_names
 from repro.utils.errors import KernelError
 
 
@@ -59,6 +59,11 @@ class TestParityAfterUpdates:
             session.run("lcc", keep_cache=True)  # make the cluster resident
             session.apply_updates(batch)
             for kernel in kernel_names():
+                if get_kernel(kernel).square_grid_only:
+                    # nranks=6 is a rectangular grid; the SUMMA kernels'
+                    # post-update parity is pinned at nranks=9 in
+                    # tests/core/test_linalg.py::TestDynamicUpdates.
+                    continue
                 result = session.run(kernel)
                 assert (int(result.global_triangles)
                         == state.global_triangles), kernel

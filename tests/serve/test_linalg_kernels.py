@@ -1,0 +1,65 @@
+"""Serving the algebraic kernels: resident panels under the pool.
+
+``tc2d_spgemm`` and ``lcc2d`` are resident kernels, so serving engines
+can route workloads at them directly.  The fencing story is unchanged —
+both are pure reads over the resident grid — and answers must be
+scheduler-independent exactly as for the 1D kernels.
+"""
+
+import pytest
+
+from repro.serve.engine import ServeConfig, ServingEngine, answers_identical
+from repro.serve.records import result_digest
+from repro.serve.scheduler import CacheAffinityScheduler, FIFOScheduler
+from repro.serve.workload import WorkloadSpec, default_catalog, generate_workload
+from repro.session import run_kernel
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog(scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def requests(catalog):
+    # nranks=4 below is a square 2x2 grid, so the SUMMA kernels serve.
+    return generate_workload(
+        WorkloadSpec(n_queries=24, arrival_rate=2000.0, n_tenants=4,
+                     graphs=tuple(catalog),
+                     kernels=("tc2d_spgemm", "lcc2d"), seed=3))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ServeConfig(nranks=4, threads=2, pool_capacity=2)
+
+
+def test_workload_accepts_algebraic_kernels(requests):
+    assert {r.kernel for r in requests} == {"tc2d_spgemm", "lcc2d"}
+
+
+def test_served_answers_match_direct_runs(catalog, requests, config):
+    outcome = ServingEngine(catalog, config, FIFOScheduler()).serve(requests)
+    for record in outcome.records:
+        req = next(r for r in requests if r.qid == record.qid)
+        graph = catalog[req.graph]
+        direct = run_kernel(req.kernel, graph,
+                            config.session_config(graph, {}))
+        assert record.digest == result_digest(direct.raw, record.version)
+
+
+def test_scheduler_independent_answers(catalog, requests, config):
+    fifo = ServingEngine(catalog, config, FIFOScheduler()).serve(requests)
+    affinity = ServingEngine(catalog, config,
+                             CacheAffinityScheduler()).serve(requests)
+    assert answers_identical(fifo, affinity)
+
+
+def test_mixed_with_edge_centric_kernels(catalog, config):
+    requests = generate_workload(
+        WorkloadSpec(n_queries=24, arrival_rate=2000.0, n_tenants=4,
+                     graphs=tuple(catalog),
+                     kernels=("lcc", "tc2d", "tc2d_spgemm", "lcc2d"),
+                     seed=9))
+    outcome = ServingEngine(catalog, config, FIFOScheduler()).serve(requests)
+    assert len(outcome.records) == len(requests)

@@ -91,6 +91,17 @@ class TestKernels:
             assert name in out
         assert "resident" in out  # traits are shown
 
+    def test_square_grid_trait_listed(self, capsys):
+        # The SUMMA kernels advertise their grid-shape requirement.
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            name = line.split()[0] if line.split() else ""
+            if name in ("tc2d_spgemm", "lcc2d"):
+                assert "square-grid" in line, line
+            elif name == "tc2d":
+                assert "square-grid" not in line, line
+
     def test_run_unknown_kernel_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["run", "skitter", "--scale", "0.2", "--kernel", "nope"])
@@ -230,7 +241,13 @@ class TestBench:
 
         canned = {
             "schema_version": br.SCHEMA_VERSION, "quick": True,
-            "nranks": 8, "threads": 4, "graphs": {},
+            "nranks": 8, "threads": 4,
+            "grid_nranks": br.BENCH_GRID_NRANKS, "graphs": {},
+            "linalg": {"tc2d_spgemm:quick": {
+                "warm_wall_clock_loop_s": 0.2,
+                "warm_wall_clock_spgemm_s": 0.2 / max(warm, 4.0),
+                "warm_speedup": max(warm, 4.0), "bit_identical": True,
+                "global_triangles": 1, "nranks": br.BENCH_GRID_NRANKS}},
             "kernels": {"lcc:quick": {
                 "wall_clock_s": 0.1, "simulated_time_s": 0.01,
                 "global_triangles": 1, "adj_hit_rate": None,
